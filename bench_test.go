@@ -1,0 +1,125 @@
+// Benchmarks regenerating each table/figure of the paper's Section 6
+// evaluation at a fixed representative window size. Each benchmark iteration
+// is one full run of the workload (trace generation excluded from the
+// metric's denominator but included in wall time; the custom ms/ktuple
+// metric matches the paper's reporting unit). The full window sweeps behind
+// EXPERIMENTS.md are produced by `go run ./cmd/upabench -scale full`.
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/plan"
+)
+
+const benchWindow = 2000
+
+func runOnce(b *testing.B, q bench.Query, v bench.Variant, window int64) {
+	b.Helper()
+	var last bench.Result
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Run(q, bench.RunConfig{Strategy: v.Strat, Opts: v.Opts, Window: window})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.MsPerK, "ms/ktuple")
+	b.ReportMetric(float64(last.MaxState), "peak-tuples")
+	b.ReportMetric(float64(last.Touched)/float64(last.Tuples), "touches/tuple")
+}
+
+func benchAllVariants(b *testing.B, q bench.Query, variants []bench.Variant, window int64) {
+	b.Helper()
+	for _, v := range variants {
+		v := v
+		b.Run(v.Name, func(b *testing.B) { runOnce(b, q, v, window) })
+	}
+}
+
+// BenchmarkQuery1FTP regenerates E1a: the selective join of two links.
+func BenchmarkQuery1FTP(b *testing.B) {
+	benchAllVariants(b, bench.Q1FTP, bench.StdVariants(), benchWindow)
+}
+
+// BenchmarkQuery1Telnet regenerates E1b: the unselective join (10x results).
+func BenchmarkQuery1Telnet(b *testing.B) {
+	benchAllVariants(b, bench.Q1Telnet, bench.StdVariants(), benchWindow)
+}
+
+// BenchmarkQuery2Distinct regenerates E2a: distinct source IPs (δ).
+func BenchmarkQuery2Distinct(b *testing.B) {
+	benchAllVariants(b, bench.Q2Distinct, bench.StdVariants(), benchWindow)
+}
+
+// BenchmarkQuery2Pairs regenerates E2b: distinct source-destination pairs.
+func BenchmarkQuery2Pairs(b *testing.B) {
+	benchAllVariants(b, bench.Q2Pairs, bench.StdVariants(), benchWindow)
+}
+
+// BenchmarkQuery3Negation regenerates E3a: negation with overlapping values
+// (frequent premature expirations), including both UPA storage choices.
+func BenchmarkQuery3Negation(b *testing.B) {
+	benchAllVariants(b, bench.Q3Negation, bench.STRVariants(), benchWindow)
+}
+
+// BenchmarkQuery3Disjoint regenerates E3b: negation with disjoint values
+// (premature expirations never happen).
+func BenchmarkQuery3Disjoint(b *testing.B) {
+	benchAllVariants(b, bench.Q3Disjoint, bench.STRVariants(), benchWindow)
+}
+
+// BenchmarkQuery4DistinctJoin regenerates E4: distinct feeding a join.
+func BenchmarkQuery4DistinctJoin(b *testing.B) {
+	benchAllVariants(b, bench.Q4DistinctJoin, bench.StdVariants(), benchWindow)
+}
+
+// BenchmarkQuery5PullUp regenerates E5a: Query 5 with negation above the
+// join (Figure 6 left).
+func BenchmarkQuery5PullUp(b *testing.B) {
+	benchAllVariants(b, bench.Q5PullUp, bench.STRVariants(), benchWindow)
+}
+
+// BenchmarkQuery5PushDown regenerates E5b: Query 5 with negation below the
+// join (Figure 6 right).
+func BenchmarkQuery5PushDown(b *testing.B) {
+	benchAllVariants(b, bench.Q5PushDown, bench.STRVariants(), benchWindow)
+}
+
+// BenchmarkPartitionSweep regenerates E6: the Section 5.3.2 trade-off in the
+// number of state-buffer partitions.
+func BenchmarkPartitionSweep(b *testing.B) {
+	for _, parts := range []int{1, 5, 10, 50, 100} {
+		parts := parts
+		b.Run(fmt.Sprintf("p%d", parts), func(b *testing.B) {
+			runOnce(b, bench.Q1FTP, bench.Variant{
+				Name:  "UPA",
+				Strat: plan.UPA,
+				Opts:  plan.Options{Partitions: parts},
+			}, benchWindow)
+		})
+	}
+}
+
+// BenchmarkLazyInterval regenerates E7: the lazy maintenance interval.
+func BenchmarkLazyInterval(b *testing.B) {
+	for _, pct := range []int64{1, 5, 25} {
+		pct := pct
+		b.Run(fmt.Sprintf("pct%d", pct), func(b *testing.B) {
+			var last bench.Result
+			for i := 0; i < b.N; i++ {
+				res, err := bench.Run(bench.Q1FTP, bench.RunConfig{
+					Strategy: plan.UPA, Window: benchWindow, LazyIntervalPct: pct,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			b.ReportMetric(last.MsPerK, "ms/ktuple")
+			b.ReportMetric(float64(last.MaxState), "peak-tuples")
+		})
+	}
+}

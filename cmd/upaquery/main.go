@@ -1,0 +1,168 @@
+// Command upaquery runs one of the paper's experimental queries over a
+// trace (a CSV file from tracegen, or a freshly generated one) under a
+// chosen execution strategy, printing the annotated plan, progress, and
+// final statistics.
+//
+// Usage:
+//
+//	upaquery -query q1-ftp -strategy upa -window 5000
+//	upaquery -query q3 -strategy nt -window 2000 -trace trace.csv
+//	upaquery -cql "SELECT DISTINCT src FROM S0 [RANGE 2000]" -links 1
+//	upaquery -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/cql"
+	"repro/internal/exec"
+	"repro/internal/plan"
+	"repro/internal/trace"
+)
+
+var queryNames = map[string]bench.Query{
+	"q1-ftp":      bench.Q1FTP,
+	"q1-telnet":   bench.Q1Telnet,
+	"q2":          bench.Q2Distinct,
+	"q2-pairs":    bench.Q2Pairs,
+	"q3":          bench.Q3Negation,
+	"q3-disjoint": bench.Q3Disjoint,
+	"q4":          bench.Q4DistinctJoin,
+	"q5-pushdown": bench.Q5PushDown,
+	"q5-pullup":   bench.Q5PullUp,
+}
+
+func main() {
+	query := flag.String("query", "q1-ftp", "query name (-list to enumerate)")
+	cqlText := flag.String("cql", "", "run a CQL query instead (streams S0..S{links-1} carry the trace schema)")
+	links := flag.Int("links", 2, "number of trace links for -cql queries")
+	strategy := flag.String("strategy", "upa", "execution strategy: nt, direct, or upa")
+	windowSize := flag.Int64("window", 5000, "sliding window size in time units")
+	duration := flag.Int64("duration", 0, "trace duration in time units (default 2x window)")
+	traceFile := flag.String("trace", "", "CSV trace file (default: generate synthetically)")
+	partitions := flag.Int("partitions", 10, "state-buffer partitions")
+	list := flag.Bool("list", false, "list query names and exit")
+	flag.Parse()
+
+	if *list {
+		for name, q := range queryNames {
+			fmt.Printf("%-12s %s (%d links)\n", name, q, q.Links())
+		}
+		return
+	}
+	if err := run(*query, *cqlText, *links, *strategy, *windowSize, *duration, *traceFile, *partitions); err != nil {
+		fmt.Fprintln(os.Stderr, "upaquery:", err)
+		os.Exit(1)
+	}
+}
+
+func run(queryName, cqlText string, cqlLinks int, strategyName string, windowSize, duration int64, traceFile string, partitions int) error {
+	var q bench.Query
+	var root *plan.Node
+	nLinks := 0
+	if cqlText != "" {
+		cat := cql.Catalog{Streams: map[string]cql.StreamDef{}}
+		for i := 0; i < cqlLinks; i++ {
+			cat.Streams[fmt.Sprintf("S%d", i)] = cql.StreamDef{ID: i, Schema: trace.Schema()}
+		}
+		var err error
+		root, err = cql.Parse(cqlText, cat)
+		if err != nil {
+			return err
+		}
+		nLinks = cqlLinks
+	} else {
+		var ok bool
+		q, ok = queryNames[strings.ToLower(queryName)]
+		if !ok {
+			return fmt.Errorf("unknown query %q (use -list)", queryName)
+		}
+		nLinks = q.Links()
+	}
+	var strat plan.Strategy
+	switch strings.ToLower(strategyName) {
+	case "nt":
+		strat = plan.NT
+	case "direct":
+		strat = plan.Direct
+	case "upa":
+		strat = plan.UPA
+	default:
+		return fmt.Errorf("unknown strategy %q (want nt, direct, or upa)", strategyName)
+	}
+	if duration <= 0 {
+		duration = 2 * windowSize
+	}
+
+	if root == nil {
+		root = bench.BuildPlan(q, windowSize)
+	}
+	if err := plan.Annotate(root, bench.PlanStats(q, 0)); err != nil {
+		return err
+	}
+	fmt.Printf("plan under %v:\n%s", strat, root)
+	fmt.Printf("estimated cost: NT=%.0f DIRECT=%.0f UPA=%.0f\n\n",
+		plan.Cost(root, plan.NT), plan.Cost(root, plan.Direct), plan.Cost(root, plan.UPA))
+
+	phys, err := plan.Build(root, strat, plan.Options{Partitions: partitions})
+	if err != nil {
+		return err
+	}
+	lazy := windowSize / 20
+	if lazy < 1 {
+		lazy = 1
+	}
+	eng, err := exec.New(phys, exec.Config{EagerInterval: 1, LazyInterval: lazy})
+	if err != nil {
+		return err
+	}
+
+	var recs []trace.Record
+	if traceFile != "" {
+		f, err := os.Open(traceFile)
+		if err != nil {
+			return err
+		}
+		recs, err = trace.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	} else {
+		recs = trace.Generate(trace.Config{
+			Links:           nLinks,
+			Tuples:          int(duration) * nLinks,
+			Seed:            42,
+			DisjointSources: cqlText == "" && q.DisjointSources(),
+		})
+	}
+
+	start := time.Now()
+	for _, r := range recs {
+		if r.Link >= nLinks {
+			return fmt.Errorf("trace record on link %d, but query reads %d links", r.Link, nLinks)
+		}
+		if err := eng.Push(r.Link, r.TS, r.Vals...); err != nil {
+			return err
+		}
+	}
+	if err := eng.Sync(); err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	st := eng.Stats()
+	fmt.Printf("processed %d tuples in %v (%.3f ms per 1000 tuples)\n",
+		st.Arrivals, elapsed.Round(time.Millisecond),
+		float64(elapsed.Nanoseconds())/1e6/float64(st.Arrivals)*1000)
+	fmt.Printf("results emitted %d, retracted %d, window negatives %d\n",
+		st.Emitted, st.Retracted, st.WindowNegatives)
+	fmt.Printf("current result size %d, peak stored tuples %d, tuple touches %d\n",
+		eng.View().Len(), st.MaxStateTuples, eng.Touched())
+	return nil
+}

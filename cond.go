@@ -1,0 +1,112 @@
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/operator"
+	"repro/internal/tuple"
+)
+
+// Cond is a boolean condition over named columns, resolved against the
+// query's schema when the condition is attached with Where.
+type Cond struct {
+	resolve func(s *tuple.Schema) (operator.Predicate, error)
+}
+
+// ColRef names a column in condition expressions.
+type ColRef struct{ name string }
+
+// Col references the named column.
+func Col(name string) ColRef { return ColRef{name: name} }
+
+func (c ColRef) cmp(op operator.CmpOp, v Value, sel float64) Cond {
+	return Cond{resolve: func(s *tuple.Schema) (operator.Predicate, error) {
+		i := s.Index(c.name)
+		if i < 0 {
+			return nil, fmt.Errorf("repro: no column %q in %s", c.name, s)
+		}
+		return operator.ColConst{Col: i, Op: op, Val: v, Sel: sel}, nil
+	}}
+}
+
+// Eq compares the column to a value for equality.
+func (c ColRef) Eq(v Value) Cond { return c.cmp(operator.EQ, v, 0) }
+
+// EqStr compares the column to a string for equality.
+func (c ColRef) EqStr(s string) Cond { return c.Eq(Str(s)) }
+
+// Ne compares for inequality.
+func (c ColRef) Ne(v Value) Cond { return c.cmp(operator.NE, v, 0) }
+
+// Lt compares with <.
+func (c ColRef) Lt(v Value) Cond { return c.cmp(operator.LT, v, 0) }
+
+// Le compares with <=.
+func (c ColRef) Le(v Value) Cond { return c.cmp(operator.LE, v, 0) }
+
+// Gt compares with >.
+func (c ColRef) Gt(v Value) Cond { return c.cmp(operator.GT, v, 0) }
+
+// Ge compares with >=.
+func (c ColRef) Ge(v Value) Cond { return c.cmp(operator.GE, v, 0) }
+
+// EqWithSelectivity is Eq with an explicit selectivity estimate for the
+// cost model (fraction of tuples expected to pass).
+func (c ColRef) EqWithSelectivity(v Value, sel float64) Cond {
+	return c.cmp(operator.EQ, v, sel)
+}
+
+// EqCol compares two columns of the same tuple.
+func (c ColRef) EqCol(other string) Cond {
+	return Cond{resolve: func(s *tuple.Schema) (operator.Predicate, error) {
+		l, r := s.Index(c.name), s.Index(other)
+		if l < 0 {
+			return nil, fmt.Errorf("repro: no column %q in %s", c.name, s)
+		}
+		if r < 0 {
+			return nil, fmt.Errorf("repro: no column %q in %s", other, s)
+		}
+		return operator.ColCol{Left: l, Right: r, Op: operator.EQ}, nil
+	}}
+}
+
+// All is the conjunction of conditions (true when empty).
+func All(conds ...Cond) Cond {
+	return Cond{resolve: func(s *tuple.Schema) (operator.Predicate, error) {
+		out := make(operator.And, len(conds))
+		for i, c := range conds {
+			p, err := c.resolve(s)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = p
+		}
+		return out, nil
+	}}
+}
+
+// Any is the disjunction of conditions (false when empty).
+func Any(conds ...Cond) Cond {
+	return Cond{resolve: func(s *tuple.Schema) (operator.Predicate, error) {
+		out := make(operator.Or, len(conds))
+		for i, c := range conds {
+			p, err := c.resolve(s)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = p
+		}
+		return out, nil
+	}}
+}
+
+// NotCond negates a condition.
+func NotCond(c Cond) Cond {
+	return Cond{resolve: func(s *tuple.Schema) (operator.Predicate, error) {
+		p, err := c.resolve(s)
+		if err != nil {
+			return nil, err
+		}
+		return operator.Not{P: p}, nil
+	}}
+}

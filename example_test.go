@@ -1,0 +1,89 @@
+package repro_test
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// ExampleCompile builds a windowed join with the fluent builder and watches
+// the materialized answer as the window slides.
+func ExampleCompile() {
+	schema := repro.MustSchema(
+		repro.Column{Name: "src", Kind: repro.KindInt},
+		repro.Column{Name: "proto", Kind: repro.KindString},
+	)
+	left := repro.Stream(0, schema, repro.TimeWindow(100)).
+		Where(repro.Col("proto").EqStr("ftp"))
+	right := repro.Stream(1, schema, repro.TimeWindow(100)).
+		Where(repro.Col("proto").EqStr("ftp"))
+	eng, err := repro.Compile(left.JoinOn(right, "src"), repro.UPA)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	eng.Push(0, 1, repro.Int(7), repro.Str("ftp"))
+	eng.Push(1, 2, repro.Int(7), repro.Str("ftp"))
+	n, _ := eng.ResultCount()
+	fmt.Println("results at t=2:", n)
+	eng.Advance(101) // the earlier constituent expires
+	n, _ = eng.ResultCount()
+	fmt.Println("results at t=101:", n)
+	// Output:
+	// results at t=2: 1
+	// results at t=101: 0
+}
+
+// ExampleParseQuery runs a textual continuous query end to end.
+func ExampleParseQuery() {
+	schema := repro.MustSchema(
+		repro.Column{Name: "src", Kind: repro.KindInt},
+		repro.Column{Name: "proto", Kind: repro.KindString},
+	)
+	q, err := repro.ParseQuery("SELECT DISTINCT src FROM S0 [RANGE 50]",
+		repro.Catalog{Streams: map[string]repro.StreamDef{"S0": {ID: 0, Schema: schema}}})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	eng, err := repro.Compile(q, repro.UPA)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	eng.Push(0, 1, repro.Int(5), repro.Str("ftp"))
+	eng.Push(0, 2, repro.Int(5), repro.Str("http")) // duplicate src
+	eng.Push(0, 3, repro.Int(9), repro.Str("ftp"))
+	n, _ := eng.ResultCount()
+	fmt.Println("distinct sources:", n)
+	// Output:
+	// distinct sources: 2
+}
+
+// ExampleEngine_Pattern shows the update-pattern annotation driving the
+// physical plan: negation is strict non-monotonic, so retractions flow as
+// negative tuples.
+func ExampleEngine_Pattern() {
+	schema := repro.MustSchema(repro.Column{Name: "src", Kind: repro.KindInt})
+	q := repro.Stream(0, schema, repro.TimeWindow(100)).
+		Except(repro.Stream(1, schema, repro.TimeWindow(100)),
+			[]string{"src"}, []string{"src"})
+	var retractions int
+	eng, err := repro.Compile(q, repro.UPA, repro.WithOnEmit(func(t repro.Tuple) {
+		if t.Neg {
+			retractions++
+		}
+	}))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("pattern:", eng.Pattern())
+	eng.Push(0, 1, repro.Int(7)) // enters the answer
+	eng.Push(1, 2, repro.Int(7)) // forces it back out
+	eng.Sync()
+	fmt.Println("retractions:", retractions)
+	// Output:
+	// pattern: STR
+	// retractions: 1
+}

@@ -1,0 +1,77 @@
+// CQL monitor: run an ad-hoc continuous query, written in the CQL-style
+// dialect, over live synthetic traffic and watch the answer evolve — the
+// "DSMS console" experience. Pass a query as the first argument, e.g.:
+//
+//	go run ./examples/cqlmonitor "SELECT protocol, COUNT(*) FROM S0 [RANGE 500] GROUP BY protocol"
+//	go run ./examples/cqlmonitor "SELECT * FROM S0 [RANGE 300] EXCEPT S1 [RANGE 300] ON src"
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	query := "SELECT DISTINCT src FROM S0 [RANGE 400]"
+	if len(os.Args) > 1 {
+		query = os.Args[1]
+	}
+	const links = 2
+
+	cat := repro.Catalog{Streams: map[string]repro.StreamDef{}}
+	for i := 0; i < links; i++ {
+		cat.Streams[fmt.Sprintf("S%d", i)] = repro.StreamDef{ID: i, Schema: repro.TraceSchema()}
+	}
+	q, err := repro.ParseQuery(query, cat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := repro.Compile(q, repro.UPA, repro.WithOptimizer())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query: %s\n\n", query)
+	if err := eng.Explain(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	reads := map[int]bool{}
+	for _, id := range eng.Streams() {
+		reads[id] = true
+	}
+	recs := repro.GenerateTrace(repro.TraceConfig{Links: links, Tuples: 2000, Seed: 11, SrcHosts: 40})
+	const reportEvery = 200
+	fmt.Println("\n   time   results   emitted   retracted")
+	for i, r := range recs {
+		if !reads[r.Link] {
+			continue // the query does not reference this link
+		}
+		if err := eng.Push(r.Link, r.TS, r.Vals...); err != nil {
+			log.Fatal(err)
+		}
+		if (i+1)%reportEvery == 0 {
+			n, err := eng.ResultCount()
+			if err != nil {
+				log.Fatal(err)
+			}
+			st := eng.Stats()
+			fmt.Printf("%7d %9d %9d %11d\n", r.TS, n, st.Emitted, st.Retracted)
+		}
+	}
+	rows, err := eng.Snapshot()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfinal answer (%d rows", len(rows))
+	if len(rows) > 10 {
+		fmt.Printf(", first 10")
+		rows = rows[:10]
+	}
+	fmt.Println("):")
+	for _, row := range rows {
+		fmt.Println("  ", row)
+	}
+}

@@ -1,0 +1,66 @@
+// Quickstart: a sliding-window join of two streams, compiled under the
+// update-pattern-aware strategy, with the materialized result observed as
+// the windows slide.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	schema := repro.MustSchema(
+		repro.Column{Name: "src", Kind: repro.KindInt},
+		repro.Column{Name: "proto", Kind: repro.KindString},
+	)
+
+	// Correlate ftp traffic across two links within the last 100 time units.
+	left := repro.Stream(0, schema, repro.TimeWindow(100)).
+		Where(repro.Col("proto").EqStr("ftp"))
+	right := repro.Stream(1, schema, repro.TimeWindow(100)).
+		Where(repro.Col("proto").EqStr("ftp"))
+	query := left.JoinOn(right, "src")
+
+	eng, err := repro.Compile(query, repro.UPA)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("annotated plan:")
+	if err := eng.Explain(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	push := func(stream int, ts int64, src int64, proto string) {
+		if err := eng.Push(stream, ts, repro.Int(src), repro.Str(proto)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	push(0, 1, 7, "ftp")
+	push(1, 2, 7, "ftp") // joins with the tuple above
+	push(0, 3, 9, "http")
+	push(1, 4, 9, "ftp") // no ftp counterpart for src 9
+
+	rows, err := eng.Snapshot()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nresults at t=4 (%d):\n", len(rows))
+	for _, r := range rows {
+		fmt.Println("  ", r)
+	}
+
+	// Slide the windows past the first tuples: the join result expires.
+	if err := eng.Advance(101); err != nil {
+		log.Fatal(err)
+	}
+	n, err := eng.ResultCount()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nresults at t=101 after the window slid: %d\n", n)
+	fmt.Printf("stats: %+v\n", eng.Stats())
+}

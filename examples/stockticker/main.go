@@ -1,0 +1,75 @@
+// Stock ticker: the motivating scenario of Section 4.1 for non-retroactive
+// relations. A quote stream joins a symbol→company table. With an NRR,
+// deleting a delisted company does not retract previously returned quotes
+// and a newly listed symbol does not join with quotes that arrived before
+// the listing; with a traditional (retroactive) relation, both happen — and
+// force the strict non-monotonic machinery.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	quoteSchema := repro.MustSchema(
+		repro.Column{Name: "sym", Kind: repro.KindInt},
+		repro.Column{Name: "price", Kind: repro.KindFloat},
+	)
+	tableSchema := repro.MustSchema(
+		repro.Column{Name: "sym", Kind: repro.KindInt},
+		repro.Column{Name: "company", Kind: repro.KindString},
+	)
+
+	run := func(retroactive bool) {
+		var tbl *repro.Table
+		if retroactive {
+			tbl = repro.NewRelation("companies", tableSchema)
+		} else {
+			tbl = repro.NewNRR("companies", tableSchema)
+		}
+		q := repro.Stream(0, quoteSchema, repro.TimeWindow(1000)).
+			JoinTable(tbl, []string{"sym"}, []string{"sym"})
+		eng, err := repro.Compile(q, repro.UPA)
+		if err != nil {
+			log.Fatal(err)
+		}
+		update := func(kind repro.TableUpdate, why string) {
+			if err := eng.UpdateTable(tbl, kind); err != nil {
+				log.Fatal(err)
+			}
+			n, _ := eng.ResultCount()
+			fmt.Printf("  %-38s → %d joined quotes\n", why, n)
+		}
+		quote := func(ts int64, sym int64, price float64) {
+			if err := eng.Push(0, ts, repro.Int(sym), repro.Float(price)); err != nil {
+				log.Fatal(err)
+			}
+			n, _ := eng.ResultCount()
+			fmt.Printf("  quote sym=%d @ t=%-3d                    → %d joined quotes\n", sym, ts, n)
+		}
+
+		kind := "non-retroactive relation (NRR)"
+		if retroactive {
+			kind = "retroactive relation"
+		}
+		fmt.Printf("%s — pattern %v:\n", kind, eng.Pattern())
+		update(repro.TableUpdate{Kind: repro.InsertRow, TS: 1,
+			Row: []repro.Value{repro.Int(1), repro.Str("Sun Microsystems")}}, "list SUNW")
+		quote(2, 1, 5.25)
+		quote(3, 2, 99.0) // unknown symbol: no join
+		update(repro.TableUpdate{Kind: repro.InsertRow, TS: 4,
+			Row: []repro.Value{repro.Int(2), repro.Str("IBM")}}, "list IBM after its quote arrived")
+		update(repro.TableUpdate{Kind: repro.DeleteRow, TS: 5,
+			Row: []repro.Value{repro.Int(1), repro.Str("Sun Microsystems")}}, "delist SUNW")
+		fmt.Println()
+	}
+
+	run(false)
+	run(true)
+	fmt.Println("The NRR keeps table maintenance out of the retraction business:")
+	fmt.Println("its join stays weakest non-monotonic and stores no stream state,")
+	fmt.Println("while the retroactive join is strict and must buffer the window.")
+}

@@ -1,0 +1,63 @@
+// Traffic join: the paper's Query 1 scenario on the synthetic LBL-style
+// trace — correlate ftp connections with the same source address appearing
+// on two outgoing links — run under all three execution strategies so their
+// identical answers and different costs are visible side by side.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	const window = 5000 // time units
+	schema := repro.TraceSchema()
+
+	build := func() repro.Node {
+		left := repro.Stream(0, schema, repro.TimeWindow(window)).
+			Where(repro.Col("protocol").EqWithSelectivity(repro.Str("ftp"), 0.04))
+		right := repro.Stream(1, schema, repro.TimeWindow(window)).
+			Where(repro.Col("protocol").EqWithSelectivity(repro.Str("ftp"), 0.04))
+		return left.JoinOn(right, "src")
+	}
+
+	recs := repro.GenerateTrace(repro.TraceConfig{
+		Links:  2,
+		Tuples: 2 * window * 2,
+		Seed:   42,
+	})
+
+	fmt.Printf("Query 1 (ftp), window %d, %d tuples\n\n", window, len(recs))
+	fmt.Printf("%-8s %12s %10s %12s %12s\n", "strategy", "elapsed", "results", "peak state", "touches")
+	var last *repro.Engine
+	for _, strat := range []repro.Strategy{repro.NT, repro.Direct, repro.UPA} {
+		eng, err := repro.Compile(build(), strat, repro.WithLazyInterval(window/20))
+		if err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		for _, r := range recs {
+			if err := eng.Push(r.Link, r.TS, r.Vals...); err != nil {
+				log.Fatal(err)
+			}
+		}
+		n, err := eng.ResultCount()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8v %12v %10d %12d %12d\n",
+			strat, time.Since(start).Round(time.Microsecond), n,
+			eng.Stats().MaxStateTuples, eng.Touched())
+		last = eng
+	}
+	fmt.Println("\nper-operator profile of the UPA run:")
+	if err := last.WriteProfile(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nAll strategies maintain the same answer; UPA's pattern-matched")
+	fmt.Println("state structures make it the cheapest (see EXPERIMENTS.md).")
+}

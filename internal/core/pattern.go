@@ -1,0 +1,91 @@
+// Package core models the primary contribution of Golab & Özsu (SIGMOD
+// 2005): the classification of continuous queries by their update patterns —
+// the order in which results are produced and deleted over time — and the
+// rules that propagate those patterns through query plans.
+//
+// The classification (Section 3.1) forms a four-point lattice of
+// progressively more complex behaviour:
+//
+//		Monotonic < Weakest (WKS) < Weak (WK) < Strict (STR)
+//
+//	  - Monotonic queries never delete results; output is an append-only
+//	    stream. Only stateless operators over unbounded streams qualify.
+//	  - Weakest non-monotonic (WKS) queries expire results first-in-first-out:
+//	    they store no state and never reorder tuples (selection/projection over
+//	    one window, merge-union).
+//	  - Weak non-monotonic (WK) queries may expire results out of FIFO order,
+//	    but every result's expiration time is known when it is produced, via
+//	    exp timestamps (window join, duplicate elimination, group-by).
+//	  - Strict non-monotonic (STR) queries expire some results at
+//	    unpredictable times and must announce those expirations with negative
+//	    tuples (negation, joins with retroactive relations).
+//
+// Section 4 applies the classification to give continuous queries a precise
+// semantics (Definitions 1 and 2, documented on Semantics); Section 5
+// exploits it to pick physical operator implementations and state structures
+// (packages plan, operator, statebuf, exec).
+package core
+
+import "fmt"
+
+// Pattern is an update-pattern class. The zero value is Monotonic; larger
+// values are strictly "more complex" per the paper's ordering, so Max over a
+// set of inputs gives the least upper bound used by the propagation rules.
+type Pattern int
+
+const (
+	// Monotonic output is append-only; results never expire.
+	Monotonic Pattern = iota
+	// Weakest non-monotonic (WKS): results expire in FIFO order.
+	Weakest
+	// Weak non-monotonic (WK): expiration order differs from insertion
+	// order, but expiration times are known via exp timestamps; no negative
+	// tuples are needed.
+	Weak
+	// Strict non-monotonic (STR): some results expire prematurely and
+	// require explicit negative tuples.
+	Strict
+)
+
+// String abbreviates the pattern as in the paper's plan annotations.
+func (p Pattern) String() string {
+	switch p {
+	case Monotonic:
+		return "MONO"
+	case Weakest:
+		return "WKS"
+	case Weak:
+		return "WK"
+	case Strict:
+		return "STR"
+	default:
+		return fmt.Sprintf("pattern(%d)", int(p))
+	}
+}
+
+// Max returns the least upper bound of two patterns in the lattice.
+func Max(a, b Pattern) Pattern {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// MaxOf folds Max over a pattern list; an empty list is Monotonic.
+func MaxOf(ps ...Pattern) Pattern {
+	out := Monotonic
+	for _, p := range ps {
+		out = Max(out, p)
+	}
+	return out
+}
+
+// NeedsNegativeTuples reports whether results with this pattern can only be
+// maintained with explicit retractions. All other patterns are compatible
+// with the direct approach (Section 2.3.2): their expirations are predictable
+// from exp timestamps alone.
+func (p Pattern) NeedsNegativeTuples() bool { return p == Strict }
+
+// ExpiresFIFO reports whether results expire in exactly the order they were
+// produced, allowing O(1) FIFO state maintenance.
+func (p Pattern) ExpiresFIFO() bool { return p <= Weakest }

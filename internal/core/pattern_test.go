@@ -1,0 +1,177 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestPatternOrderingAndNames(t *testing.T) {
+	if !(Monotonic < Weakest && Weakest < Weak && Weak < Strict) {
+		t.Fatal("lattice order broken")
+	}
+	names := map[Pattern]string{Monotonic: "MONO", Weakest: "WKS", Weak: "WK", Strict: "STR"}
+	for p, want := range names {
+		if p.String() != want {
+			t.Errorf("%d.String() = %q, want %q", p, p.String(), want)
+		}
+	}
+	if Pattern(42).String() == "" {
+		t.Error("unknown pattern should still render")
+	}
+}
+
+func TestMaxAndMaxOf(t *testing.T) {
+	if Max(Weakest, Weak) != Weak || Max(Strict, Monotonic) != Strict {
+		t.Error("Max wrong")
+	}
+	if MaxOf() != Monotonic {
+		t.Error("MaxOf() should be Monotonic")
+	}
+	if MaxOf(Weakest, Strict, Weak) != Strict {
+		t.Error("MaxOf fold wrong")
+	}
+}
+
+func TestPatternFlags(t *testing.T) {
+	if !Strict.NeedsNegativeTuples() || Weak.NeedsNegativeTuples() {
+		t.Error("NeedsNegativeTuples wrong")
+	}
+	if !Monotonic.ExpiresFIFO() || !Weakest.ExpiresFIFO() || Weak.ExpiresFIFO() || Strict.ExpiresFIFO() {
+		t.Error("ExpiresFIFO wrong")
+	}
+}
+
+func TestOpClassMetadata(t *testing.T) {
+	stateless := []OpClass{OpSelect, OpProject, OpUnion, OpNRRJoin}
+	for _, c := range stateless {
+		if !c.Stateless() {
+			t.Errorf("%v should be stateless", c)
+		}
+	}
+	stateful := []OpClass{OpJoin, OpIntersect, OpDistinct, OpGroupBy, OpNegate, OpRelJoin}
+	for _, c := range stateful {
+		if c.Stateless() {
+			t.Errorf("%v should be stateful", c)
+		}
+	}
+	for _, c := range append(stateless, stateful...) {
+		if c.String() == "" {
+			t.Errorf("empty name for %d", c)
+		}
+	}
+	if OpClass(99).String() == "" || OpClass(99).OwnPattern() != Strict {
+		t.Error("unknown class defaults")
+	}
+}
+
+// TestPropagationRulesFromPaper checks each of Section 5.2's five rules on
+// the concrete cases the paper gives.
+func TestPropagationRulesFromPaper(t *testing.T) {
+	cases := []struct {
+		name string
+		op   OpClass
+		in   []Pattern
+		want Pattern
+	}{
+		// Rule 1: unary WKS operators and ⋈NRR pass the input through.
+		{"select/wks", OpSelect, []Pattern{Weakest}, Weakest},
+		{"select/wk", OpSelect, []Pattern{Weak}, Weak},
+		{"select/str", OpSelect, []Pattern{Strict}, Strict},
+		{"project/mono", OpProject, []Pattern{Monotonic}, Monotonic},
+		{"nrrjoin/wks", OpNRRJoin, []Pattern{Weakest}, Weakest},
+		{"nrrjoin/mono", OpNRRJoin, []Pattern{Monotonic}, Monotonic}, // §4.1: monotonic over a stream
+		// Rule 2: union takes the more complex input.
+		{"union/wks-wks", OpUnion, []Pattern{Weakest, Weakest}, Weakest},
+		{"union/wks-wk", OpUnion, []Pattern{Weakest, Weak}, Weak},
+		{"union/wk-str", OpUnion, []Pattern{Weak, Strict}, Strict},
+		// Rule 3: WK operators output WK, or STR if any input is STR.
+		{"join/wks-wks", OpJoin, []Pattern{Weakest, Weakest}, Weak},
+		{"join/wks-wk", OpJoin, []Pattern{Weakest, Weak}, Weak},
+		{"join/str", OpJoin, []Pattern{Weakest, Strict}, Strict},
+		{"distinct/wks", OpDistinct, []Pattern{Weakest}, Weak},
+		{"distinct/str", OpDistinct, []Pattern{Strict}, Strict},
+		{"intersect/wk", OpIntersect, []Pattern{Weak, Weakest}, Weak},
+		// Rule 4: group-by is always WK, even over STR input.
+		{"groupby/wks", OpGroupBy, []Pattern{Weakest}, Weak},
+		{"groupby/str", OpGroupBy, []Pattern{Strict}, Weak},
+		// Rule 5: negation and ⋈R are always STR.
+		{"negate/wks", OpNegate, []Pattern{Weakest, Weakest}, Strict},
+		{"negate/mono", OpNegate, []Pattern{Monotonic, Monotonic}, Strict},
+		{"reljoin/wks", OpRelJoin, []Pattern{Weakest}, Strict},
+	}
+	for _, c := range cases {
+		if got := Propagate(c.op, c.in...); got != c.want {
+			t.Errorf("%s: Propagate(%v, %v) = %v, want %v", c.name, c.op, c.in, got, c.want)
+		}
+	}
+}
+
+func TestPropagateMonotoneInInputs(t *testing.T) {
+	// Property: raising any input pattern never lowers the output pattern.
+	ops := []OpClass{OpSelect, OpProject, OpUnion, OpJoin, OpIntersect, OpDistinct, OpGroupBy, OpNegate, OpNRRJoin, OpRelJoin}
+	pats := []Pattern{Monotonic, Weakest, Weak, Strict}
+	cfg := &quick.Config{
+		MaxCount: 500,
+		Values: func(args []reflect.Value, r *rand.Rand) {
+			args[0] = reflect.ValueOf(ops[r.Intn(len(ops))])
+			args[1] = reflect.ValueOf(pats[r.Intn(len(pats))])
+			args[2] = reflect.ValueOf(pats[r.Intn(len(pats))])
+			args[3] = reflect.ValueOf(pats[r.Intn(len(pats))])
+		},
+	}
+	prop := func(op OpClass, a, b, hi Pattern) bool {
+		base := Propagate(op, a, b)
+		raised := Propagate(op, Max(a, hi), Max(b, hi))
+		return raised >= base
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFeasibility(t *testing.T) {
+	if Feasible(OpJoin, Monotonic, Weakest) {
+		t.Error("join over an unbounded stream is infeasible")
+	}
+	if !Feasible(OpJoin, Weakest, Weakest) {
+		t.Error("windowed join is feasible")
+	}
+	if !Feasible(OpSelect, Monotonic) {
+		t.Error("stateless ops are always feasible")
+	}
+	if !Feasible(OpNRRJoin, Monotonic) {
+		t.Error("⋈NRR does not store its streaming input (§4.1)")
+	}
+	if Feasible(OpNegate, Monotonic, Monotonic) {
+		t.Error("negation over unbounded streams is infeasible")
+	}
+}
+
+func TestOwnPatternTable(t *testing.T) {
+	want := map[OpClass]Pattern{
+		OpSelect: Weakest, OpProject: Weakest, OpUnion: Weakest, OpNRRJoin: Weakest,
+		OpJoin: Weak, OpIntersect: Weak, OpDistinct: Weak, OpGroupBy: Weak,
+		OpNegate: Strict, OpRelJoin: Strict,
+	}
+	for op, p := range want {
+		if op.OwnPattern() != p {
+			t.Errorf("%v.OwnPattern() = %v, want %v", op, op.OwnPattern(), p)
+		}
+	}
+}
+
+func TestOutputForm(t *testing.T) {
+	if OutputFormOf(Monotonic) != AppendOnlyStream {
+		t.Error("monotonic queries emit append-only streams")
+	}
+	for _, p := range []Pattern{Weakest, Weak, Strict} {
+		if OutputFormOf(p) != MaterializedView {
+			t.Errorf("%v queries need a materialized view", p)
+		}
+	}
+	if AppendOnlyStream.String() == MaterializedView.String() {
+		t.Error("output form names must differ")
+	}
+}

@@ -1,0 +1,154 @@
+package core
+
+import "fmt"
+
+// OpClass identifies a logical operator for pattern-propagation purposes.
+// The five rules of Section 5.2 are stated over these classes.
+type OpClass int
+
+const (
+	// OpSelect is selection (stateless, unary).
+	OpSelect OpClass = iota
+	// OpProject is duplicate-preserving projection (stateless, unary).
+	OpProject
+	// OpUnion is non-blocking merge union (stateless, binary).
+	OpUnion
+	// OpJoin is the sliding-window equijoin (stateful, binary).
+	OpJoin
+	// OpIntersect is multiset window intersection (stateful, binary).
+	OpIntersect
+	// OpDistinct is duplicate elimination over a window (stateful, unary).
+	OpDistinct
+	// OpGroupBy is grouped aggregation (stateful, unary).
+	OpGroupBy
+	// OpNegate is multiset difference W1 − W2 on an attribute (stateful,
+	// binary, generates negative tuples).
+	OpNegate
+	// OpNRRJoin joins a stream/window with a non-retroactive relation
+	// (Section 4.1); table updates do not affect prior stream tuples.
+	OpNRRJoin
+	// OpRelJoin joins a window with a retroactive relation; table updates
+	// retract/extend prior results, forcing strict output.
+	OpRelJoin
+)
+
+// String names the operator class.
+func (c OpClass) String() string {
+	switch c {
+	case OpSelect:
+		return "select"
+	case OpProject:
+		return "project"
+	case OpUnion:
+		return "union"
+	case OpJoin:
+		return "join"
+	case OpIntersect:
+		return "intersect"
+	case OpDistinct:
+		return "distinct"
+	case OpGroupBy:
+		return "groupby"
+	case OpNegate:
+		return "negate"
+	case OpNRRJoin:
+		return "nrr-join"
+	case OpRelJoin:
+		return "rel-join"
+	default:
+		return fmt.Sprintf("op(%d)", int(c))
+	}
+}
+
+// Stateless reports whether the operator stores no tuples.
+func (c OpClass) Stateless() bool {
+	switch c {
+	case OpSelect, OpProject, OpUnion, OpNRRJoin:
+		// ⋈NRR stores only the table, never the streaming input (§4.1).
+		return true
+	default:
+		return false
+	}
+}
+
+// OwnPattern is the update pattern the operator itself introduces when fed
+// the simplest possible input — the operator rows of the Section 3.1
+// classification, assuming sliding-window (not unbounded) inputs:
+//
+//	selection/projection/union over a window  → Weakest
+//	join/intersect/distinct/group-by          → Weak
+//	negation / retroactive relation join      → Strict
+func (c OpClass) OwnPattern() Pattern {
+	switch c {
+	case OpSelect, OpProject, OpUnion, OpNRRJoin:
+		return Weakest
+	case OpJoin, OpIntersect, OpDistinct, OpGroupBy:
+		return Weak
+	case OpNegate, OpRelJoin:
+		return Strict
+	default:
+		return Strict
+	}
+}
+
+// Propagate computes the update pattern on an operator's output edge from
+// the patterns of its input edges — the five rules of Section 5.2:
+//
+//  1. The output of unary weakest non-monotonic operators (selection,
+//     projection) and ⋈NRR equals the input pattern.
+//  2. The output of binary weakest non-monotonic operators (merge-union) is
+//     the more complex of the two input patterns.
+//  3. The output of weak non-monotonic operators other than group-by (join,
+//     intersection, duplicate elimination) is STR if any input is STR, and
+//     WK otherwise.
+//  4. The output of group-by is always WK, regardless of input: newly
+//     generated aggregate values replace old ones without negative tuples.
+//  5. The output of strict non-monotonic operators (negation) and ⋈R is
+//     always STR.
+//
+// Inputs with the Monotonic pattern (unbounded, windowless streams) keep
+// stateless operators monotonic; stateful operators over such inputs would
+// need unbounded state and are flagged by Feasible.
+func Propagate(c OpClass, inputs ...Pattern) Pattern {
+	in := MaxOf(inputs...)
+	switch c {
+	case OpSelect, OpProject, OpNRRJoin:
+		return in // Rule 1
+	case OpUnion:
+		return in // Rule 2
+	case OpJoin, OpIntersect, OpDistinct:
+		if in == Strict {
+			return Strict // Rule 3
+		}
+		if in == Monotonic {
+			// Join of unbounded streams: monotonic (but infeasible state).
+			return Monotonic
+		}
+		return Weak // Rule 3
+	case OpGroupBy:
+		return Weak // Rule 4
+	case OpNegate, OpRelJoin:
+		return Strict // Rule 5
+	default:
+		return Strict
+	}
+}
+
+// Feasible reports whether the operator can run in bounded memory given its
+// input patterns: stateful operators over unbounded (Monotonic) inputs
+// require infinite state (Section 1, [2]). Group-by is the exception the
+// paper's Section 3.1 carves out: over an unbounded stream nothing ever
+// expires, so only the per-group aggregate values (not the input) need to
+// be stored — distributive aggregates run in space proportional to the
+// number of groups.
+func Feasible(c OpClass, inputs ...Pattern) bool {
+	if c.Stateless() || c == OpGroupBy {
+		return true
+	}
+	for _, p := range inputs {
+		if p == Monotonic {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,47 @@
+package core
+
+// Semantics documents and encodes the continuous-query semantics of
+// Section 4.2 (Definitions 1 and 2) so tests can assert conformance.
+//
+// Definition 1: at any time τ, the answer Q(τ) must equal the output of the
+// corresponding one-time relational query evaluated over the current states
+// of the streams, sliding windows, and relations referenced in Q.
+//
+// Definition 2 refines this for non-retroactive relations: each result tuple
+// t must reflect the state the NRRs had at t's generation time t.TS, not at
+// τ. The reference evaluator (package reference) implements both and the
+// integration tests compare every execution strategy against it after every
+// event.
+//
+// Output form (Section 4.2): monotonic queries emit an append-only stream;
+// non-monotonic queries (WKS, WK, STR) maintain a materialized view that
+// reflects all positive (insertion) and negative (deletion) tuples produced
+// on the output stream.
+
+// OutputForm describes how a query's answer is delivered.
+type OutputForm int
+
+const (
+	// AppendOnlyStream: results accumulate forever (monotonic queries).
+	AppendOnlyStream OutputForm = iota
+	// MaterializedView: results are a view kept consistent under
+	// insertions and expirations/retractions (non-monotonic queries).
+	MaterializedView
+)
+
+// String names the output form.
+func (f OutputForm) String() string {
+	if f == AppendOnlyStream {
+		return "append-only stream"
+	}
+	return "materialized view"
+}
+
+// OutputFormOf returns the delivery form mandated by Section 4.2 for a query
+// with the given root update pattern.
+func OutputFormOf(p Pattern) OutputForm {
+	if p == Monotonic {
+		return AppendOnlyStream
+	}
+	return MaterializedView
+}

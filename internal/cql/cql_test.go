@@ -1,0 +1,263 @@
+package cql
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/plan"
+	"repro/internal/relation"
+	"repro/internal/tuple"
+	"repro/internal/window"
+)
+
+func testCatalog() Catalog {
+	link := tuple.MustSchema(
+		tuple.Column{Name: "src", Kind: tuple.KindInt},
+		tuple.Column{Name: "proto", Kind: tuple.KindString},
+		tuple.Column{Name: "bytes", Kind: tuple.KindInt},
+	)
+	companies := relation.NewNRR("companies", tuple.MustSchema(
+		tuple.Column{Name: "src", Kind: tuple.KindInt},
+		tuple.Column{Name: "name", Kind: tuple.KindString},
+	))
+	ledger := relation.NewRelation("ledger", tuple.MustSchema(
+		tuple.Column{Name: "src", Kind: tuple.KindInt},
+	))
+	return Catalog{
+		Streams: map[string]StreamDef{
+			"S0": {ID: 0, Schema: link},
+			"S1": {ID: 1, Schema: link},
+			"S2": {ID: 2, Schema: link},
+		},
+		Tables: map[string]*relation.Table{"companies": companies, "ledger": ledger},
+	}
+}
+
+func parseOK(t *testing.T, q string) *plan.Node {
+	t.Helper()
+	n, err := Parse(q, testCatalog())
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", q, err)
+	}
+	if err := plan.Annotate(n, plan.DefaultStats()); err != nil {
+		t.Fatalf("Annotate(%q): %v", q, err)
+	}
+	return n
+}
+
+func TestParseSelectStar(t *testing.T) {
+	n := parseOK(t, "SELECT * FROM S0 [RANGE 100]")
+	if n.Kind != plan.Source || n.Window.Size != 100 || n.Window.Type != window.TimeBased {
+		t.Errorf("plan: %s", n)
+	}
+}
+
+func TestParseWindows(t *testing.T) {
+	if n := parseOK(t, "SELECT * FROM S0 [ROWS 7]"); n.Window.Type != window.CountBased || n.Window.Size != 7 {
+		t.Errorf("rows window: %v", n.Window)
+	}
+	if n := parseOK(t, "SELECT * FROM S0 [UNBOUNDED]"); !n.Window.IsUnbounded() {
+		t.Errorf("unbounded window: %v", n.Window)
+	}
+	if n := parseOK(t, "SELECT * FROM S0 [unbounded]"); !n.Window.IsUnbounded() {
+		t.Errorf("keywords must be case-insensitive")
+	}
+}
+
+func TestParseProjectionAndDistinct(t *testing.T) {
+	n := parseOK(t, "SELECT DISTINCT src FROM S0 [RANGE 2000]")
+	if n.Kind != plan.Distinct || n.Inputs[0].Kind != plan.Project {
+		t.Errorf("plan: %s", n)
+	}
+	n = parseOK(t, "SELECT src, bytes FROM S0 [RANGE 10]")
+	if n.Kind != plan.Project || len(n.Cols) != 2 {
+		t.Errorf("plan: %s", n)
+	}
+	n = parseOK(t, "SELECT DISTINCT * FROM S0 [RANGE 10]")
+	if n.Kind != plan.Distinct || n.Inputs[0].Kind != plan.Source {
+		t.Errorf("plan: %s", n)
+	}
+}
+
+func TestParseWhere(t *testing.T) {
+	n := parseOK(t, "SELECT * FROM S0 [RANGE 100] WHERE proto = 'ftp' AND bytes >= 10 OR NOT (src != 3 OR bytes < 5.5)")
+	if n.Kind != plan.Select {
+		t.Fatalf("plan: %s", n)
+	}
+	if !strings.Contains(n.Pred.String(), "OR") || !strings.Contains(n.Pred.String(), "NOT") {
+		t.Errorf("predicate: %s", n.Pred)
+	}
+	// Column-to-column comparison and escaped string literals.
+	n = parseOK(t, "SELECT * FROM S0 [RANGE 10] WHERE src = bytes AND proto = 'o''brien'")
+	if n.Kind != plan.Select {
+		t.Fatalf("plan: %s", n)
+	}
+}
+
+func TestParseJoin(t *testing.T) {
+	n := parseOK(t, "SELECT * FROM S0 [RANGE 100] JOIN S1 [RANGE 200] ON src WHERE proto = 'ftp'")
+	if n.Kind != plan.Select || n.Inputs[0].Kind != plan.Join {
+		t.Fatalf("plan: %s", n)
+	}
+	j := n.Inputs[0]
+	if j.Inputs[1].Window.Size != 200 {
+		t.Errorf("right window: %v", j.Inputs[1].Window)
+	}
+	// Multi-column join keys.
+	n = parseOK(t, "SELECT * FROM S0 [RANGE 10] JOIN S1 [RANGE 10] ON src, proto")
+	if len(n.LeftCols) != 2 {
+		t.Errorf("join keys: %v", n.LeftCols)
+	}
+}
+
+func TestParseExceptUnionIntersect(t *testing.T) {
+	n := parseOK(t, "SELECT * FROM S0 [RANGE 100] EXCEPT S1 [RANGE 100] ON src")
+	if n.Kind != plan.Negate {
+		t.Fatalf("plan: %s", n)
+	}
+	n = parseOK(t, "SELECT * FROM S0 [RANGE 100] UNION S1 [RANGE 100]")
+	if n.Kind != plan.Union {
+		t.Fatalf("plan: %s", n)
+	}
+	n = parseOK(t, "SELECT * FROM S0 [RANGE 100] INTERSECT S1 [RANGE 100]")
+	if n.Kind != plan.Intersect {
+		t.Fatalf("plan: %s", n)
+	}
+}
+
+func TestParseGroupBy(t *testing.T) {
+	n := parseOK(t, "SELECT proto, COUNT(*), SUM(bytes), AVG(bytes), MIN(bytes), MAX(bytes) FROM S0 [RANGE 500] GROUP BY proto")
+	if n.Kind != plan.GroupBy || len(n.Aggs) != 5 || len(n.GroupCols) != 1 {
+		t.Fatalf("plan: %s", n)
+	}
+	// Global aggregate without GROUP BY.
+	n = parseOK(t, "SELECT COUNT(*) FROM S0 [RANGE 500]")
+	if n.Kind != plan.GroupBy || len(n.GroupCols) != 0 {
+		t.Fatalf("global aggregate: %s", n)
+	}
+}
+
+func TestParseTableJoins(t *testing.T) {
+	n := parseOK(t, "SELECT * FROM S0 [RANGE 100] JOIN companies ON src")
+	if n.Kind != plan.NRRJoin {
+		t.Fatalf("NRR join: %s", n)
+	}
+	n = parseOK(t, "SELECT * FROM S0 [RANGE 100] JOIN ledger ON src")
+	if n.Kind != plan.RelJoin {
+		t.Fatalf("relation join: %s", n)
+	}
+}
+
+func TestParsePaperQueries(t *testing.T) {
+	// The five experimental queries of Section 6.1, in CQL form.
+	queries := []string{
+		"SELECT * FROM S0 [RANGE 2000] JOIN S1 [RANGE 2000] ON src WHERE proto = 'ftp'",
+		"SELECT DISTINCT src FROM S0 [RANGE 2000]",
+		"SELECT * FROM S0 [RANGE 2000] EXCEPT S1 [RANGE 2000] ON src",
+		"SELECT * FROM S0 [RANGE 2000] EXCEPT S1 [RANGE 2000] ON src JOIN S2 [RANGE 2000] ON src WHERE proto = 'ftp'",
+	}
+	for _, q := range queries {
+		parseOK(t, q)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"FROM S0",
+		"SELECT",
+		"SELECT * FROM",
+		"SELECT * FROM Nope [RANGE 10]",
+		"SELECT nope FROM S0 [RANGE 10]",
+		"SELECT * FROM S0 [RANGE]",
+		"SELECT * FROM S0 [FOO 10]",
+		"SELECT * FROM S0 [RANGE 10",
+		"SELECT * FROM S0 [RANGE 10] WHERE",
+		"SELECT * FROM S0 [RANGE 10] WHERE nope = 1",
+		"SELECT * FROM S0 [RANGE 10] WHERE proto ~ 'x'",
+		"SELECT * FROM S0 [RANGE 10] WHERE proto = ",
+		"SELECT * FROM S0 [RANGE 10] WHERE (proto = 'x'",
+		"SELECT * FROM S0 [RANGE 10] JOIN S1 [RANGE 10]",
+		"SELECT * FROM S0 [RANGE 10] JOIN S1 [RANGE 10] ON nope",
+		"SELECT * FROM S0 [RANGE 10] EXCEPT companies ON src",
+		"SELECT * FROM S0 [RANGE 10] UNION companies",
+		"SELECT * FROM S0 [RANGE 10] INTERSECT companies",
+		"SELECT * FROM S0 [RANGE 10] trailing",
+		"SELECT SUM(*) FROM S0 [RANGE 10]",
+		"SELECT SUM(nope) FROM S0 [RANGE 10] GROUP BY proto",
+		"SELECT bytes FROM S0 [RANGE 10] GROUP BY proto",
+		"SELECT proto FROM S0 [RANGE 10] GROUP BY proto", // no aggregate
+		"SELECT * FROM S0 [RANGE 10] GROUP BY proto",
+		"SELECT DISTINCT COUNT(*) FROM S0 [RANGE 10] GROUP BY proto",
+		"SELECT * FROM S0 [RANGE 10] GROUP proto",
+		"SELECT * FROM S0 [RANGE 10] WHERE proto = 'unterminated",
+		"SELECT * FROM S0 [RANGE 10] WHERE proto = ?",
+		"SELECT COUNT(* FROM S0 [RANGE 10]",
+		"SELECT * FROM S0 [RANGE 10] GROUP BY nope2",
+	}
+	for _, q := range bad {
+		if n, err := Parse(q, testCatalog()); err == nil {
+			if aerr := plan.Annotate(n, plan.DefaultStats()); aerr == nil {
+				t.Errorf("accepted: %q", q)
+			}
+		}
+	}
+}
+
+func TestLexerDetails(t *testing.T) {
+	toks, err := lex("a_b1 <= -3.5 <> 'x''y' != ( )")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var texts []string
+	for _, tk := range toks {
+		texts = append(texts, tk.text)
+	}
+	want := []string{"a_b1", "<=", "-3.5", "<>", "x'y", "!=", "(", ")", ""}
+	if len(texts) != len(want) {
+		t.Fatalf("tokens: %v", texts)
+	}
+	for i := range want {
+		if texts[i] != want[i] {
+			t.Errorf("token %d = %q, want %q", i, texts[i], want[i])
+		}
+	}
+	if _, err := lex("@"); err == nil {
+		t.Error("bad character accepted")
+	}
+	if _, err := lex("'open"); err == nil {
+		t.Error("unterminated string accepted")
+	}
+}
+
+// TestParseNeverPanics feeds mutated query fragments to the parser; every
+// outcome must be a value or an error, never a panic.
+func TestParseNeverPanics(t *testing.T) {
+	fragments := []string{
+		"SELECT", "*", "FROM", "S0", "[RANGE 10]", "[ROWS 3]", "[UNBOUNDED]",
+		"JOIN", "S1", "ON", "src", "EXCEPT", "UNION", "INTERSECT", "WHERE",
+		"proto", "=", "'ftp'", "AND", "OR", "NOT", "(", ")", "GROUP", "BY",
+		"COUNT(*)", "SUM(bytes)", ",", "<", ">=", "!=", "5", "2.5", "companies",
+	}
+	cat := testCatalog()
+	rnd := uint32(12345)
+	next := func(n int) int {
+		rnd = rnd*1664525 + 1013904223
+		return int(rnd % uint32(n))
+	}
+	for i := 0; i < 3000; i++ {
+		var parts []string
+		for j := 0; j < 2+next(10); j++ {
+			parts = append(parts, fragments[next(len(fragments))])
+		}
+		q := strings.Join(parts, " ")
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on %q: %v", q, r)
+				}
+			}()
+			_, _ = Parse(q, cat)
+		}()
+	}
+}

@@ -1,0 +1,144 @@
+// Package cql provides a small continuous-query language over the plan
+// algebra — the textual front end a DSMS exposes. The dialect follows the
+// CQL-style conventions the paper's examples assume: windows are attached to
+// stream references, and the operator set matches Section 2.1 exactly.
+//
+//	SELECT DISTINCT src FROM S0 [RANGE 2000]
+//	SELECT * FROM S0 [RANGE 100] JOIN S1 [RANGE 100] ON src WHERE proto = 'ftp'
+//	SELECT proto, COUNT(*), SUM(bytes) FROM S0 [RANGE 500] GROUP BY proto
+//	SELECT * FROM S0 [RANGE 100] EXCEPT S1 [RANGE 100] ON src
+//	SELECT * FROM quotes [RANGE 100] JOIN companies ON sym
+//
+// Windows: [RANGE n] is time-based, [ROWS n] count-based, [UNBOUNDED] a raw
+// stream; a bare table name joins a registered relation or NRR.
+package cql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol // ( ) [ ] , * and comparison operators
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+type lexer struct {
+	src    string
+	pos    int
+	tokens []token
+}
+
+// lex tokenizes the query; keywords stay tokIdent and are matched
+// case-insensitively by the parser.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case unicode.IsLetter(rune(c)) || c == '_':
+			l.ident()
+		case unicode.IsDigit(rune(c)) || (c == '-' && l.pos+1 < len(l.src) && unicode.IsDigit(rune(l.src[l.pos+1]))):
+			l.number()
+		case c == '\'':
+			if err := l.str(); err != nil {
+				return nil, err
+			}
+		case strings.ContainsRune("()[],*", rune(c)):
+			l.emit(tokSymbol, string(c), 1)
+		case c == '<' || c == '>' || c == '!' || c == '=':
+			l.op()
+		default:
+			return nil, fmt.Errorf("cql: unexpected character %q at %d", c, l.pos)
+		}
+	}
+	l.tokens = append(l.tokens, token{kind: tokEOF, pos: l.pos})
+	return l.tokens, nil
+}
+
+func (l *lexer) emit(kind tokenKind, text string, width int) {
+	l.tokens = append(l.tokens, token{kind: kind, text: text, pos: l.pos})
+	l.pos += width
+}
+
+func (l *lexer) ident() {
+	start := l.pos
+	for l.pos < len(l.src) {
+		c := rune(l.src[l.pos])
+		if !unicode.IsLetter(c) && !unicode.IsDigit(c) && c != '_' {
+			break
+		}
+		l.pos++
+	}
+	l.tokens = append(l.tokens, token{kind: tokIdent, text: l.src[start:l.pos], pos: start})
+}
+
+func (l *lexer) number() {
+	start := l.pos
+	if l.src[l.pos] == '-' {
+		l.pos++
+	}
+	dot := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '.' && !dot {
+			dot = true
+			l.pos++
+			continue
+		}
+		if !unicode.IsDigit(rune(c)) {
+			break
+		}
+		l.pos++
+	}
+	l.tokens = append(l.tokens, token{kind: tokNumber, text: l.src[start:l.pos], pos: start})
+}
+
+func (l *lexer) str() error {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				b.WriteByte('\'') // escaped quote
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			l.tokens = append(l.tokens, token{kind: tokString, text: b.String(), pos: start})
+			return nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("cql: unterminated string starting at %d", start)
+}
+
+func (l *lexer) op() {
+	two := ""
+	if l.pos+1 < len(l.src) {
+		two = l.src[l.pos : l.pos+2]
+	}
+	switch two {
+	case "<=", ">=", "!=", "<>":
+		l.emit(tokSymbol, two, 2)
+		return
+	}
+	l.emit(tokSymbol, string(l.src[l.pos]), 1)
+}

@@ -1,0 +1,395 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/plan"
+	"repro/internal/tuple"
+)
+
+// Pipeline is a concurrent executor: every operator runs in its own
+// goroutine, connected by channels, with watermark alignment at binary
+// operators so tuples are still processed in timestamp order. It extends the
+// paper's sequential processing model (Section 2 assumes each tuple is fully
+// processed before the next): the pipelined execution is *eventually
+// equivalent* — after Flush(now), the materialized view equals what the
+// sequential Engine produces at the same point, which the test suite checks
+// against the sequential engine and the reference evaluator.
+//
+// Limitations (by design, documented): relation/NRR updates are not
+// supported in pipelined mode (their retroactive consequences would need a
+// global barrier), and a single producer goroutine must drive Push/Advance/
+// Flush.
+type Pipeline struct {
+	phys    *plan.Physical
+	view    View
+	clock   int64
+	runners map[*plan.PNode]*runner
+	// leaves are the channels feeding each source's consumer edge.
+	leaves []leafEdge
+	// viewCh feeds the view goroutine; viewWM reports its progress.
+	viewCh chan message
+	viewMu sync.Mutex
+	viewWM int64
+	viewCv *sync.Cond
+	wg     sync.WaitGroup
+	err    error
+	errMu  sync.Mutex
+	closed bool
+}
+
+type leafEdge struct {
+	src *plan.PSource
+	ch  chan message
+	// side of the consumer this edge feeds; -1 when feeding the view.
+	side int
+}
+
+type msgKind int
+
+const (
+	msgTuple msgKind = iota
+	msgWatermark
+)
+
+type message struct {
+	kind msgKind
+	side int
+	t    tuple.Tuple
+	wm   int64
+}
+
+// runner owns one operator.
+type runner struct {
+	p      *Pipeline
+	node   *plan.PNode
+	in     chan message
+	emit   func(message)
+	arity  int
+	queues [2][]tuple.Tuple
+	wms    [2]int64
+	sent   int64 // last watermark forwarded
+}
+
+// NewPipeline builds a concurrent executor for a physical plan. The plan's
+// operators become owned by runner goroutines; do not share a Physical
+// between a Pipeline and an Engine.
+func NewPipeline(phys *plan.Physical, chanBuf int) (*Pipeline, error) {
+	if len(phys.Tables) > 0 {
+		return nil, fmt.Errorf("exec: pipelined execution does not support relation joins")
+	}
+	view, err := NewView(phys.View)
+	if err != nil {
+		return nil, err
+	}
+	if chanBuf <= 0 {
+		chanBuf = 64
+	}
+	p := &Pipeline{
+		phys:    phys,
+		view:    view,
+		clock:   -1,
+		runners: make(map[*plan.PNode]*runner),
+		viewCh:  make(chan message, chanBuf),
+		viewWM:  -1,
+	}
+	p.viewCv = sync.NewCond(&p.viewMu)
+
+	// View goroutine.
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		for m := range p.viewCh {
+			switch m.kind {
+			case msgTuple:
+				p.view.Apply(m.t)
+			case msgWatermark:
+				p.view.ExpireUpTo(m.wm)
+				p.viewMu.Lock()
+				if m.wm > p.viewWM {
+					p.viewWM = m.wm
+				}
+				p.viewCv.Broadcast()
+				p.viewMu.Unlock()
+			}
+		}
+	}()
+
+	// Operator runners, children first.
+	var build func(n *plan.PNode) *runner
+	build = func(n *plan.PNode) *runner {
+		if n == nil {
+			return nil
+		}
+		if r, ok := p.runners[n]; ok {
+			return r
+		}
+		r := &runner{
+			p:     p,
+			node:  n,
+			in:    make(chan message, chanBuf),
+			arity: len(n.Inputs),
+			wms:   [2]int64{-1, -1},
+			sent:  -1,
+		}
+		if r.arity == 0 {
+			r.arity = 1 // unary leaf-fed operator
+		}
+		p.runners[n] = r
+		for _, c := range n.Inputs {
+			build(c)
+		}
+		return r
+	}
+	build(phys.Root)
+
+	// Wire emission targets.
+	for n, r := range p.runners {
+		if n.Parent == nil {
+			r.emit = func(m message) { p.viewCh <- m }
+		} else {
+			parent := p.runners[n.Parent]
+			side := n.Side
+			r.emit = func(m message) {
+				m.side = side
+				parent.in <- m
+			}
+		}
+	}
+	// Leaf edges.
+	for _, src := range phys.Sources {
+		if src.Consumer == nil {
+			p.leaves = append(p.leaves, leafEdge{src: src, ch: p.viewCh, side: -1})
+			continue
+		}
+		r := p.runners[src.Consumer]
+		p.leaves = append(p.leaves, leafEdge{src: src, ch: r.in, side: src.Side})
+	}
+	// Start runners.
+	for _, r := range p.runners {
+		p.wg.Add(1)
+		go r.loop()
+	}
+	return p, nil
+}
+
+func (p *Pipeline) fail(err error) {
+	p.errMu.Lock()
+	if p.err == nil {
+		p.err = err
+	}
+	p.errMu.Unlock()
+	// Wake any Flush waiting on watermark progress that will never come.
+	p.viewMu.Lock()
+	p.viewCv.Broadcast()
+	p.viewMu.Unlock()
+}
+
+// Err returns the first asynchronous error, if any.
+func (p *Pipeline) Err() error {
+	p.errMu.Lock()
+	defer p.errMu.Unlock()
+	return p.err
+}
+
+// Push admits one base-stream tuple (single producer only).
+func (p *Pipeline) Push(streamID int, ts int64, vals ...tuple.Value) error {
+	if p.closed {
+		return fmt.Errorf("exec: pipeline closed")
+	}
+	if ts < p.clock {
+		return fmt.Errorf("exec: timestamp %d regresses before %d", ts, p.clock)
+	}
+	p.clock = ts
+	found := false
+	for _, leaf := range p.leaves {
+		if leaf.src.StreamID != streamID {
+			continue
+		}
+		found = true
+		stamped, evicted, err := leaf.src.Window.Arrive(tuple.New(ts, vals...))
+		if err != nil {
+			return err
+		}
+		leaf.ch <- message{kind: msgTuple, side: leaf.side, t: stamped}
+		for _, ev := range evicted {
+			leaf.ch <- message{kind: msgTuple, side: leaf.side, t: ev.Negative(ts)}
+		}
+	}
+	if !found {
+		return fmt.Errorf("exec: no source for stream %d", streamID)
+	}
+	// The negative-tuple strategy: materialized windows retract expired
+	// tuples inline (windows are owned by the producer goroutine).
+	if p.phys.Strategy == plan.NT {
+		for _, leaf := range p.leaves {
+			for _, t := range leaf.src.Window.ExpireUpTo(ts) {
+				leaf.ch <- message{kind: msgTuple, side: leaf.side, t: t.Negative(ts)}
+			}
+		}
+	}
+	p.broadcastWatermark(ts)
+	return p.Err()
+}
+
+// Advance moves logical time with no arrival.
+func (p *Pipeline) Advance(ts int64) error {
+	if ts < p.clock {
+		return fmt.Errorf("exec: time %d regresses before %d", ts, p.clock)
+	}
+	p.clock = ts
+	if p.phys.Strategy == plan.NT {
+		for _, leaf := range p.leaves {
+			for _, t := range leaf.src.Window.ExpireUpTo(ts) {
+				leaf.ch <- message{kind: msgTuple, side: leaf.side, t: t.Negative(ts)}
+			}
+		}
+	}
+	p.broadcastWatermark(ts)
+	return p.Err()
+}
+
+func (p *Pipeline) broadcastWatermark(ts int64) {
+	seen := map[chan message]map[int]bool{}
+	for _, leaf := range p.leaves {
+		sides := seen[leaf.ch]
+		if sides == nil {
+			sides = map[int]bool{}
+			seen[leaf.ch] = sides
+		}
+		if sides[leaf.side] {
+			continue // one watermark per (channel, side) per tick
+		}
+		sides[leaf.side] = true
+		leaf.ch <- message{kind: msgWatermark, side: leaf.side, wm: ts}
+	}
+	// Operators with an input side fed by neither a child runner nor a
+	// leaf cannot exist (plans are fully wired), so nothing else to do.
+}
+
+// Flush blocks until every event up to the current clock has been folded
+// into the view, then returns the first asynchronous error, if any.
+func (p *Pipeline) Flush() error {
+	if p.clock < 0 {
+		return p.Err()
+	}
+	p.broadcastWatermark(p.clock)
+	target := p.clock
+	p.viewMu.Lock()
+	for p.viewWM < target && p.Err() == nil {
+		p.viewCv.Wait()
+	}
+	p.viewMu.Unlock()
+	return p.Err()
+}
+
+// Snapshot flushes and returns the result multiset.
+func (p *Pipeline) Snapshot() ([]tuple.Tuple, error) {
+	if err := p.Flush(); err != nil {
+		return nil, err
+	}
+	return p.view.Snapshot(), nil
+}
+
+// Close shuts the pipeline down; further Push calls fail.
+func (p *Pipeline) Close() error {
+	if p.closed {
+		return nil
+	}
+	err := p.Flush()
+	p.closed = true
+	for _, r := range p.runners {
+		close(r.in)
+	}
+	if p.phys.Root == nil {
+		close(p.viewCh)
+	}
+	p.wg.Wait()
+	return err
+}
+
+// loop is the runner goroutine: it aligns inputs by watermark, processes
+// buffered tuples in timestamp order, advances the operator clock, and
+// forwards emissions plus its own watermark.
+func (r *runner) loop() {
+	defer r.p.wg.Done()
+	isRoot := r.node.Parent == nil
+	for m := range r.in {
+		switch m.kind {
+		case msgTuple:
+			side := m.side
+			if side < 0 || side >= 2 {
+				side = 0
+			}
+			r.queues[side] = append(r.queues[side], m.t)
+		case msgWatermark:
+			side := m.side
+			if side < 0 || side >= 2 {
+				side = 0
+			}
+			if m.wm > r.wms[side] {
+				r.wms[side] = m.wm
+			}
+		}
+		low := r.wms[0]
+		if r.arity > 1 && r.wms[1] < low {
+			low = r.wms[1]
+		}
+		if low > r.sent {
+			r.drain(low)
+			r.sent = low
+			r.emit(message{kind: msgWatermark, wm: low})
+		}
+	}
+	_ = isRoot
+	if isRoot {
+		close(r.p.viewCh)
+	}
+}
+
+// drain processes all buffered tuples with TS <= wm in timestamp order
+// (side 0 first on ties, matching the sequential engine's call order), then
+// advances the operator to wm.
+func (r *runner) drain(wm int64) {
+	for s := 0; s < 2; s++ {
+		sort.SliceStable(r.queues[s], func(i, j int) bool { return r.queues[s][i].TS < r.queues[s][j].TS })
+	}
+	for {
+		side := -1
+		for s := 0; s < r.arity; s++ {
+			if len(r.queues[s]) == 0 || r.queues[s][0].TS > wm {
+				continue
+			}
+			if side < 0 || r.queues[s][0].TS < r.queues[side][0].TS {
+				side = s
+			}
+		}
+		if side < 0 {
+			break
+		}
+		t := r.queues[side][0]
+		r.queues[side] = r.queues[side][1:]
+		now := t.TS
+		if now < r.sent {
+			now = r.sent
+		}
+		outs, err := r.node.Op.Process(side, t, now)
+		if err != nil {
+			r.p.fail(err)
+			return
+		}
+		for _, o := range outs {
+			r.emit(message{kind: msgTuple, t: o})
+		}
+	}
+	outs, err := r.node.Op.Advance(wm)
+	if err != nil {
+		r.p.fail(err)
+		return
+	}
+	for _, o := range outs {
+		r.emit(message{kind: msgTuple, t: o})
+	}
+}

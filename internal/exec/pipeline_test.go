@@ -1,0 +1,242 @@
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/operator"
+	"repro/internal/plan"
+	"repro/internal/reference"
+	"repro/internal/relation"
+	"repro/internal/tuple"
+	"repro/internal/window"
+)
+
+// buildPhys annotates and builds a fresh physical plan.
+func buildPhys(t *testing.T, root *plan.Node, s plan.Strategy, opts plan.Options) *plan.Physical {
+	t.Helper()
+	if err := plan.Annotate(root, plan.DefaultStats()); err != nil {
+		t.Fatal(err)
+	}
+	phys, err := plan.Build(root, s, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return phys
+}
+
+// pipelineShapes are the plan builders exercised for sequential/pipelined
+// equivalence.
+func pipelineShapes() map[string]func() *plan.Node {
+	sel := func(id int, size int64) *plan.Node {
+		src := plan.NewSource(id, window.Spec{Type: window.TimeBased, Size: size}, linkSchema())
+		return plan.NewSelect(src, operator.ColConst{Col: 1, Op: operator.NE, Val: tuple.String_("http")})
+	}
+	return map[string]func() *plan.Node{
+		"select": func() *plan.Node { return plan.NewUnion(sel(0, 20), sel(1, 20)) },
+		"join": func() *plan.Node {
+			return plan.NewJoin(sel(0, 15), sel(1, 25), []int{0}, []int{0})
+		},
+		"distinct": func() *plan.Node {
+			a := plan.NewSource(0, window.Spec{Type: window.TimeBased, Size: 15}, linkSchema())
+			b := plan.NewSource(1, window.Spec{Type: window.TimeBased, Size: 15}, linkSchema())
+			return plan.NewDistinct(plan.NewProject(plan.NewUnion(a, b), 0))
+		},
+		"negate": func() *plan.Node {
+			a := plan.NewSource(0, window.Spec{Type: window.TimeBased, Size: 15}, linkSchema())
+			b := plan.NewSource(1, window.Spec{Type: window.TimeBased, Size: 20}, linkSchema())
+			return plan.NewNegate(a, b, []int{0}, []int{0})
+		},
+		"groupby": func() *plan.Node {
+			a := plan.NewSource(0, window.Spec{Type: window.TimeBased, Size: 18}, linkSchema())
+			b := plan.NewSource(1, window.Spec{Type: window.TimeBased, Size: 18}, linkSchema())
+			return plan.NewGroupBy(plan.NewUnion(a, b), []int{1}, operator.AggSpec{Kind: operator.Count})
+		},
+	}
+}
+
+// TestPipelineMatchesSequential drives the same random workload through the
+// sequential engine and the pipelined executor and compares the final
+// materialized views as multisets — the eventual-equivalence contract.
+func TestPipelineMatchesSequential(t *testing.T) {
+	for name, build := range pipelineShapes() {
+		for _, strat := range []plan.Strategy{plan.NT, plan.Direct, plan.UPA} {
+			t.Run(name+"/"+strat.String(), func(t *testing.T) {
+				seq, err := New(buildPhys(t, build(), strat, plan.Options{}), Config{LazyInterval: 5})
+				if err != nil {
+					t.Fatal(err)
+				}
+				pipe, err := NewPipeline(buildPhys(t, build(), strat, plan.Options{}), 16)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer pipe.Close()
+
+				r := rand.New(rand.NewSource(77))
+				streams := 2
+				for ts := int64(0); ts < 200; ts++ {
+					vals := rndTuple(r)
+					id := int(ts) % streams
+					if err := seq.Push(id, ts, vals...); err != nil {
+						t.Fatal(err)
+					}
+					if err := pipe.Push(id, ts, vals...); err != nil {
+						t.Fatal(err)
+					}
+				}
+				want, err := seq.Snapshot()
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := pipe.Snapshot()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reference.SameBag(reference.RowsOf(got), reference.RowsOf(want)) {
+					t.Fatalf("pipeline diverged\nsequential (%d):\n%s\npipelined (%d):\n%s",
+						len(want), reference.Render(reference.RowsOf(want)),
+						len(got), reference.Render(reference.RowsOf(got)))
+				}
+				// Mid-run flushes also agree after full drain.
+				if err := pipe.Advance(300); err != nil {
+					t.Fatal(err)
+				}
+				if err := seq.Advance(300); err != nil {
+					t.Fatal(err)
+				}
+				got, _ = pipe.Snapshot()
+				want, _ = seq.Snapshot()
+				if !reference.SameBag(reference.RowsOf(got), reference.RowsOf(want)) {
+					t.Fatal("post-drain divergence")
+				}
+			})
+		}
+	}
+}
+
+func TestPipelineValidation(t *testing.T) {
+	// Relation joins are rejected.
+	tbl := relation.NewNRR("t", tuple.MustSchema(tuple.Column{Name: "sym", Kind: tuple.KindInt}))
+	src := plan.NewSource(0, window.Spec{Type: window.TimeBased, Size: 50}, linkSchema())
+	root := plan.NewNRRJoin(src, tbl, []int{0}, []int{0})
+	phys := buildPhys(t, root, plan.UPA, plan.Options{})
+	if _, err := NewPipeline(phys, 0); err == nil {
+		t.Error("pipeline accepted a relation join")
+	}
+
+	pipe, err := NewPipeline(buildPhys(t, simpleSelect(50), plan.UPA, plan.Options{}), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pipe.Push(0, 5, tuple.Int(1), tuple.String_("a"), tuple.Int(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := pipe.Push(0, 1, tuple.Int(1), tuple.String_("a"), tuple.Int(1)); err == nil {
+		t.Error("timestamp regression accepted")
+	}
+	if err := pipe.Push(9, 6, tuple.Int(1), tuple.String_("a"), tuple.Int(1)); err == nil {
+		t.Error("unknown stream accepted")
+	}
+	if err := pipe.Advance(2); err == nil {
+		t.Error("time regression accepted")
+	}
+	if err := pipe.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pipe.Push(0, 10, tuple.Int(1), tuple.String_("a"), tuple.Int(1)); err == nil {
+		t.Error("push after close accepted")
+	}
+	if err := pipe.Close(); err != nil {
+		t.Error("double close should be a no-op")
+	}
+}
+
+func TestPipelineFlushBeforeEvents(t *testing.T) {
+	pipe, err := NewPipeline(buildPhys(t, simpleSelect(50), plan.UPA, plan.Options{}), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pipe.Close()
+	if err := pipe.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := pipe.Snapshot()
+	if err != nil || len(rows) != 0 {
+		t.Fatalf("empty pipeline snapshot: %v %v", rows, err)
+	}
+}
+
+func TestPipelineBareWindow(t *testing.T) {
+	src := plan.NewSource(0, window.Spec{Type: window.TimeBased, Size: 10}, linkSchema())
+	pipe, err := NewPipeline(buildPhys(t, src, plan.UPA, plan.Options{}), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe.Push(0, 1, tuple.Int(1), tuple.String_("a"), tuple.Int(1))
+	rows, err := pipe.Snapshot()
+	if err != nil || len(rows) != 1 {
+		t.Fatalf("bare window: %v %v", rows, err)
+	}
+	pipe.Advance(11)
+	rows, _ = pipe.Snapshot()
+	if len(rows) != 0 {
+		t.Fatalf("bare window expiry: %v", rows)
+	}
+	if err := pipe.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPipelineCountWindowEvictions(t *testing.T) {
+	src := plan.NewSource(0, window.Spec{Type: window.CountBased, Size: 3}, linkSchema())
+	root := plan.NewSelect(src, operator.True{})
+	pipe, err := NewPipeline(buildPhys(t, root, plan.UPA, plan.Options{}), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pipe.Close()
+	for i := int64(1); i <= 5; i++ {
+		if err := pipe.Push(0, i, tuple.Int(i), tuple.String_("a"), tuple.Int(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rows, err := pipe.Snapshot()
+	if err != nil || len(rows) != 3 {
+		t.Fatalf("count window rows = %v (%v)", rows, err)
+	}
+}
+
+// TestPipelineOperatorErrorUnblocksFlush: a failing operator must surface
+// its error through Flush rather than hanging it.
+func TestPipelineOperatorErrorUnblocksFlush(t *testing.T) {
+	// δ rejects negative tuples; a count-based window feeding it produces
+	// eviction retractions, so the pipeline hits an operator error.
+	src := plan.NewSource(0, window.Spec{Type: window.CountBased, Size: 1}, linkSchema())
+	root := plan.NewDistinct(plan.NewProject(src, 0))
+	if err := plan.Annotate(root, plan.DefaultStats()); err != nil {
+		t.Fatal(err)
+	}
+	// Force δ despite the strict edge by building UPA physical by hand is
+	// intrusive; instead force the error through the planner-correct path:
+	// UPA over a count window uses the literature Distinct, so emulate an
+	// operator failure with a bad-side message instead.
+	phys, err := plan.Build(root, plan.UPA, plan.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := NewPipeline(phys, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pipe.Close()
+	pipe.fail(errTest) // simulate an async operator failure
+	if err := pipe.Flush(); err == nil {
+		t.Fatal("Flush must surface the pipeline error")
+	}
+	if pipe.Err() == nil {
+		t.Fatal("Err must report the failure")
+	}
+}
+
+var errTest = fmt.Errorf("injected failure")

@@ -1,0 +1,81 @@
+package exec
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/plan"
+)
+
+// OpProfile is one operator's runtime counters.
+type OpProfile struct {
+	// Class names the operator.
+	Class string
+	// Pattern is the output edge's update-pattern annotation.
+	Pattern string
+	// Depth is the operator's depth in the plan tree (root = 0).
+	Depth int
+	// StateTuples is the currently stored tuple count.
+	StateTuples int
+	// Touched is the cumulative tuple-visit count of the operator's state
+	// structures.
+	Touched int64
+	// Emitted and Retracted count the positive and negative tuples the
+	// operator has produced on its output edge.
+	Emitted, Retracted int64
+}
+
+// Profile returns per-operator runtime counters in pre-order (root first) —
+// an EXPLAIN ANALYZE for continuous queries: which edges carry retractions,
+// where state lives, and which structures do the touching.
+func (e *Engine) Profile() []OpProfile {
+	var out []OpProfile
+	var walk func(n *plan.PNode, depth int)
+	walk = func(n *plan.PNode, depth int) {
+		if n == nil {
+			return
+		}
+		em := e.emitted[n]
+		out = append(out, OpProfile{
+			Class:       n.Class.String(),
+			Pattern:     n.Pattern.String(),
+			Depth:       depth,
+			StateTuples: n.Op.StateSize(),
+			Touched:     n.Op.Touched(),
+			Emitted:     em.pos,
+			Retracted:   em.neg,
+		})
+		for _, c := range n.Inputs {
+			walk(c, depth+1)
+		}
+	}
+	walk(e.phys.Root, 0)
+	return out
+}
+
+// WriteProfile renders Profile as an aligned tree.
+func (e *Engine) WriteProfile(w io.Writer) error {
+	profs := e.Profile()
+	if len(profs) == 0 {
+		_, err := fmt.Fprintln(w, "(bare window plan: no operators)")
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-28s %-5s %10s %12s %10s %10s\n",
+		"operator", "edge", "state", "touched", "emitted", "retracted"); err != nil {
+		return err
+	}
+	for _, p := range profs {
+		name := strings.Repeat("  ", p.Depth) + p.Class
+		if _, err := fmt.Fprintf(w, "%-28s %-5s %10d %12d %10d %10d\n",
+			name, p.Pattern, p.StateTuples, p.Touched, p.Emitted, p.Retracted); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// emitStats tracks per-node output counts.
+type emitStats struct {
+	pos, neg int64
+}

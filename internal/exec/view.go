@@ -1,0 +1,186 @@
+// Package exec executes physical continuous-query plans under the three
+// strategies of Section 6 — negative-tuple (NT), direct (DIRECT), and
+// update-pattern-aware (UPA) — maintaining a materialized result view that
+// satisfies Definitions 1 and 2 of Section 4.2 at every observable moment.
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/plan"
+	"repro/internal/statebuf"
+	"repro/internal/tuple"
+)
+
+// View is the materialized result of a non-monotonic continuous query
+// (Section 4.2: "a materialized view that reflects all the real (insertions)
+// and negative (deletions) tuples that have been produced on the output
+// stream").
+type View interface {
+	// Apply folds one output-stream tuple into the view: positive tuples
+	// insert (or replace, for keyed views), negative tuples delete.
+	Apply(t tuple.Tuple)
+	// ExpireUpTo retires results whose exp timestamps are due. Views under
+	// the negative-tuple strategy are retired exclusively by retractions
+	// and implement this as a no-op.
+	ExpireUpTo(now int64)
+	// Len returns the current result count.
+	Len() int
+	// Snapshot returns the current result multiset (order unspecified).
+	Snapshot() []tuple.Tuple
+	// Touched returns cumulative tuple visits (cost accounting).
+	Touched() int64
+}
+
+// Lookup is implemented by views that can locate result rows by key —
+// hash-stored results (keyed on the retraction attribute) and keyed
+// group-by views. It is the hook the authors' follow-up work ("Indexing the
+// Results of Sliding Window Queries") builds on: downstream consumers read
+// the materialized answer point-wise instead of scanning snapshots.
+type Lookup interface {
+	// LookupKey returns the current result rows whose key equals k, and
+	// whether the view supports keyed access at all (scan-only structures
+	// report false).
+	LookupKey(k tuple.Key) ([]tuple.Tuple, bool)
+}
+
+// NewView builds the view described by a physical plan's configuration.
+func NewView(cfg plan.ViewConfig) (View, error) {
+	switch cfg.Kind {
+	case plan.ViewAppend:
+		return &appendView{}, nil
+	case plan.ViewKeyed:
+		return &keyedView{keyCols: cfg.KeyCols, rows: make(map[tuple.Key]tuple.Tuple)}, nil
+	case plan.ViewFIFO:
+		return &bufferView{buf: statebuf.NewFIFO(), timeExpiry: cfg.TimeExpiry}, nil
+	case plan.ViewList:
+		return &bufferView{buf: statebuf.NewList(), timeExpiry: cfg.TimeExpiry}, nil
+	case plan.ViewPartitioned:
+		parts := cfg.Partitions
+		if parts <= 0 {
+			parts = statebuf.DefaultPartitions
+		}
+		return &bufferView{buf: statebuf.NewPartitioned(parts, cfg.Horizon, false), timeExpiry: cfg.TimeExpiry}, nil
+	case plan.ViewHash:
+		return &bufferView{buf: statebuf.NewHash(cfg.KeyCols), timeExpiry: cfg.TimeExpiry}, nil
+	default:
+		return nil, fmt.Errorf("exec: unknown view kind %v", cfg.Kind)
+	}
+}
+
+// bufferView stores results in one of the statebuf structures; this is the
+// view whose maintenance cost the three strategies differ on.
+type bufferView struct {
+	buf        statebuf.Buffer
+	timeExpiry bool
+}
+
+func (v *bufferView) Apply(t tuple.Tuple) {
+	if t.Neg {
+		v.buf.Remove(t)
+		return
+	}
+	v.buf.Insert(t)
+}
+
+func (v *bufferView) ExpireUpTo(now int64) {
+	if v.timeExpiry {
+		v.buf.ExpireUpTo(now)
+	}
+}
+
+func (v *bufferView) Len() int { return v.buf.Len() }
+
+func (v *bufferView) Snapshot() []tuple.Tuple {
+	out := make([]tuple.Tuple, 0, v.buf.Len())
+	v.buf.Scan(func(t tuple.Tuple) bool { out = append(out, t); return true })
+	return out
+}
+
+func (v *bufferView) Touched() int64 { return v.buf.Touched() }
+
+// LookupKey implements Lookup when the underlying buffer probes by key.
+func (v *bufferView) LookupKey(k tuple.Key) ([]tuple.Tuple, bool) {
+	p, ok := v.buf.(statebuf.Prober)
+	if !ok {
+		return nil, false
+	}
+	var out []tuple.Tuple
+	p.Probe(k, func(t tuple.Tuple) bool { out = append(out, t); return true })
+	return out, true
+}
+
+// keyedView replaces rows by key — group-by results, where a new aggregate
+// value for a group supersedes the previous one without a retraction
+// (Section 2.1), and a negative tuple removes the group's row.
+type keyedView struct {
+	keyCols []int
+	rows    map[tuple.Key]tuple.Tuple
+	touched int64
+}
+
+func (v *keyedView) Apply(t tuple.Tuple) {
+	v.touched++
+	k := t.Key(v.keyCols)
+	if t.Neg {
+		delete(v.rows, k)
+		return
+	}
+	v.rows[k] = t
+}
+
+func (v *keyedView) ExpireUpTo(int64) {} // rows die by replacement only
+
+func (v *keyedView) Len() int { return len(v.rows) }
+
+func (v *keyedView) Snapshot() []tuple.Tuple {
+	out := make([]tuple.Tuple, 0, len(v.rows))
+	for _, t := range v.rows {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].Key(v.keyCols).String() < out[j].Key(v.keyCols).String()
+	})
+	return out
+}
+
+func (v *keyedView) Touched() int64 { return v.touched }
+
+// LookupKey implements Lookup: at most one row per group.
+func (v *keyedView) LookupKey(k tuple.Key) ([]tuple.Tuple, bool) {
+	if t, ok := v.rows[k]; ok {
+		return []tuple.Tuple{t}, true
+	}
+	return nil, true
+}
+
+// appendView is the append-only result of a monotonic query; it retains a
+// bounded tail plus a count, since unbounded retention is the point of
+// monotonic outputs being streams, not views.
+type appendView struct {
+	tail  []tuple.Tuple
+	total int64
+}
+
+// appendTailMax bounds the retained suffix of an append-only result.
+const appendTailMax = 4096
+
+func (v *appendView) Apply(t tuple.Tuple) {
+	if t.Neg {
+		return // monotonic queries never retract
+	}
+	v.total++
+	v.tail = append(v.tail, t)
+	if len(v.tail) > appendTailMax {
+		v.tail = append(v.tail[:0:0], v.tail[len(v.tail)-appendTailMax/2:]...)
+	}
+}
+
+func (v *appendView) ExpireUpTo(int64) {}
+
+func (v *appendView) Len() int { return int(v.total) }
+
+func (v *appendView) Snapshot() []tuple.Tuple { return append([]tuple.Tuple(nil), v.tail...) }
+
+func (v *appendView) Touched() int64 { return v.total }

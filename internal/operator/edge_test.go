@@ -1,0 +1,208 @@
+package operator
+
+// Edge-case tests beyond the per-operator basics: weak-pattern inputs whose
+// exp order differs from arrival order, multi-column keys, and NT-mode
+// (NoTimeExpiry) behaviour.
+
+import (
+	"testing"
+
+	"repro/internal/statebuf"
+	"repro/internal/tuple"
+)
+
+func ip2(ts, exp int64, a, b int64) tuple.Tuple {
+	return tuple.Tuple{TS: ts, Exp: exp, Vals: []tuple.Value{tuple.Int(a), tuple.Int(b)}}
+}
+
+func ipSchema2() *tuple.Schema {
+	return tuple.MustSchema(
+		tuple.Column{Name: "a", Kind: tuple.KindInt},
+		tuple.Column{Name: "b", Kind: tuple.KindInt},
+	)
+}
+
+// TestDeltaWeakInputAuxByExpiration: over a WK input, the "youngest"
+// duplicate worth keeping is the one with the largest exp, not the largest
+// ts — a later-arriving tuple can expire sooner.
+func TestDeltaWeakInputAuxByExpiration(t *testing.T) {
+	d := NewDistinctDelta(ipSchema1(), 1000, 0)
+	mustProcess(t, d, 0, ip(1, 50, 7), 1)  // rep, exp 50
+	mustProcess(t, d, 0, ip(2, 200, 7), 2) // duplicate, exp 200 → aux
+	mustProcess(t, d, 0, ip(3, 100, 7), 3) // later ts but smaller exp: not aux
+	out := mustAdvance(t, d, 50)
+	if len(out) != 1 || out[0].Exp != 200 {
+		t.Fatalf("promotion must pick max-exp duplicate: %v", out)
+	}
+}
+
+func TestNegateMultiColumnAttribute(t *testing.T) {
+	n, err := NewNegate(NegateConfig{
+		Left: ipSchema2(), Right: ipSchema2(),
+		LeftCols: []int{0, 1}, RightCols: []int{0, 1},
+		Horizon: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustProcess(t, n, 0, ip2(1, 101, 5, 6), 1)
+	// Same first column, different second: no match.
+	if out := mustProcess(t, n, 1, ip2(2, 102, 5, 7), 2); len(out) != 0 {
+		t.Fatalf("partial key matched: %v", out)
+	}
+	// Full key match retracts.
+	out := mustProcess(t, n, 1, ip2(3, 103, 5, 6), 3)
+	if len(out) != 1 || !out[0].Neg {
+		t.Fatalf("full key must retract: %v", out)
+	}
+}
+
+// TestNegateNoTimeExpiry drives the NT configuration: expiration arrives as
+// negative tuples only; Advance must not touch state.
+func TestNegateNoTimeExpiry(t *testing.T) {
+	n, err := NewNegate(NegateConfig{
+		Left: ipSchema1(), Right: ipSchema1(),
+		LeftCols: []int{0}, RightCols: []int{0},
+		Horizon: 100, NoTimeExpiry: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1 := ip(1, 10, 5)
+	mustProcess(t, n, 0, w1, 1)
+	// Far beyond exp, but no retraction arrived: state must persist.
+	if out := mustAdvance(t, n, 1000); len(out) != 0 {
+		t.Fatalf("NoTimeExpiry advanced: %v", out)
+	}
+	if n.StateSize() != 1 {
+		t.Fatalf("state dropped: %d", n.StateSize())
+	}
+	// The retraction retires it (and propagates, since it was in-answer).
+	out := mustProcess(t, n, 0, w1.Negative(1001), 1001)
+	if len(out) != 1 || !out[0].Neg {
+		t.Fatalf("NT retraction: %v", out)
+	}
+	if n.StateSize() != 0 {
+		t.Fatalf("state leaked: %d", n.StateSize())
+	}
+}
+
+func TestNegateNegativeOnExpiry(t *testing.T) {
+	n, err := NewNegate(NegateConfig{
+		Left: ipSchema1(), Right: ipSchema1(),
+		LeftCols: []int{0}, RightCols: []int{0},
+		Horizon: 100, NegativeOnExpiry: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustProcess(t, n, 0, ip(1, 10, 5), 1)
+	// With NegativeOnExpiry, even the natural window expiration announces
+	// itself — the Section 5.4.3 hybrid's contract with its hash view.
+	out := mustAdvance(t, n, 10)
+	if len(out) != 1 || !out[0].Neg {
+		t.Fatalf("expiry must emit a negative: %v", out)
+	}
+}
+
+func TestGroupByNoTimeExpiry(t *testing.T) {
+	g, err := NewGroupBy(GroupByConfig{
+		Input:        ipSchema1(),
+		GroupCols:    []int{0},
+		Aggs:         []AggSpec{{Kind: Count}},
+		InputBuf:     statebuf.Config{Kind: statebuf.KindHash},
+		NoTimeExpiry: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := ip(1, 10, 5)
+	mustProcess(t, g, 0, a, 1)
+	if out := mustAdvance(t, g, 1000); len(out) != 0 {
+		t.Fatalf("NoTimeExpiry advanced: %v", out)
+	}
+	out := mustProcess(t, g, 0, a.Negative(1001), 1001)
+	if len(out) != 1 || !out[0].Neg {
+		t.Fatalf("NT group vanish: %v", out)
+	}
+}
+
+func TestIntersectNoTimeExpiry(t *testing.T) {
+	x, err := NewIntersect(IntersectConfig{
+		Left: ipSchema1(), Right: ipSchema1(),
+		Horizon: 100, NoTimeExpiry: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := ip(1, 10, 5)
+	mustProcess(t, x, 0, l, 1)
+	mustProcess(t, x, 1, ip(2, 20, 5), 2)
+	if out := mustAdvance(t, x, 1000); len(out) != 0 {
+		t.Fatalf("NoTimeExpiry advanced: %v", out)
+	}
+	out := mustProcess(t, x, 0, l.Negative(1001), 1001)
+	if len(out) != 1 || !out[0].Neg {
+		t.Fatalf("NT pair retraction: %v", out)
+	}
+}
+
+func TestJoinNoTimeExpiryKeepsExpiredProbeVisible(t *testing.T) {
+	j, err := NewJoin(JoinConfig{
+		Left: ipSchema1(), Right: ipSchema1(),
+		LeftCols: []int{0}, RightCols: []int{0},
+		LeftBuf:      statebuf.Config{Kind: statebuf.KindHash},
+		RightBuf:     statebuf.Config{Kind: statebuf.KindHash},
+		NoTimeExpiry: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := ip(1, 10, 5)
+	mustProcess(t, j, 0, l, 1)
+	mustAdvance(t, j, 1000) // must NOT trim
+	if j.StateSize() != 1 {
+		t.Fatalf("NT join state trimmed: %d", j.StateSize())
+	}
+	// A retraction at t=1000 must still find the tuple and retract results
+	// it contributed to (probe ignores exp in NT mode).
+	mustProcess(t, j, 1, ip(999, 1050, 5), 999)
+	out := mustProcess(t, j, 0, l.Negative(1000), 1000)
+	if len(out) != 1 || !out[0].Neg {
+		t.Fatalf("NT join retraction: %v", out)
+	}
+}
+
+func TestDistinctDirectListRepIndex(t *testing.T) {
+	// The DIRECT configuration: list calendars everywhere still give the
+	// right answers (just slower).
+	d := NewDistinct(DistinctConfig{
+		Schema:     ipSchema1(),
+		InputBuf:   statebuf.Config{Kind: statebuf.KindList},
+		RepIdx:     statebuf.Config{Kind: statebuf.KindList},
+		TimeExpiry: true,
+	})
+	mustProcess(t, d, 0, ip(1, 10, 5), 1)
+	mustProcess(t, d, 0, ip(2, 30, 5), 2)
+	out := mustAdvance(t, d, 10)
+	if len(out) != 1 || out[0].Exp != 30 {
+		t.Fatalf("list-calendar replacement: %v", out)
+	}
+}
+
+func TestNegateListCalendars(t *testing.T) {
+	n, err := NewNegate(NegateConfig{
+		Left: ipSchema1(), Right: ipSchema1(),
+		LeftCols: []int{0}, RightCols: []int{0},
+		Horizon: 100, ListCalendars: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustProcess(t, n, 0, ip(1, 10, 5), 1)
+	mustProcess(t, n, 1, ip(2, 8, 5), 2) // retracts; W2 expires at 8
+	out := mustAdvance(t, n, 8)          // re-admit via list calendar
+	if len(out) != 1 || out[0].Neg {
+		t.Fatalf("list-calendar re-admit: %v", out)
+	}
+}

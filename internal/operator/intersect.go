@@ -1,0 +1,270 @@
+package operator
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/statebuf"
+	"repro/internal/tuple"
+)
+
+// Intersect is multiset window intersection (Section 2.1): at any time the
+// answer holds min(v1, v2) tuples for each value v, where v1 and v2 are the
+// value's multiplicities in the two (layout-equal) inputs.
+//
+// To stay weak non-monotonic — every result must carry a firm exp — each
+// emitted result is backed by a pair of supporting tuples, one per side, and
+// expires at the earlier of their expirations. When a support expires, its
+// partner (if still live) greedily re-pairs with the longest-lived unpaired
+// tuple on the opposite side, emitting a replacement result — the same
+// replacement discipline duplicate elimination uses (Figure 2). Negative
+// tuples on either input retract a support; retracting a paired support
+// retracts its result with a negative tuple, so strict inputs yield strict
+// output (Rule 3).
+type Intersect struct {
+	schema     *tuple.Schema
+	sides      [2]map[tuple.Key][]*isectEntry
+	expIdx     [2]statebuf.Buffer
+	allCols    []int
+	sizes      [2]int
+	clock      int64
+	timeExpiry bool
+	touched    int64
+}
+
+type isectEntry struct {
+	t       tuple.Tuple
+	partner *isectEntry
+	side    int
+}
+
+// IntersectConfig configures an intersection.
+type IntersectConfig struct {
+	Left, Right *tuple.Schema
+	// Horizon bounds tuple lifetimes (the larger window size).
+	Horizon int64
+	// Partitions sizes the expiration calendars (default 10).
+	Partitions int
+	// ListCalendars swaps the calendars for plain lists (DIRECT baseline).
+	ListCalendars bool
+	// NoTimeExpiry disables exp-timestamp expiration (negative-tuple
+	// strategy).
+	NoTimeExpiry bool
+}
+
+// NewIntersect builds an intersection; the inputs must be layout-equal.
+func NewIntersect(cfg IntersectConfig) (*Intersect, error) {
+	if !cfg.Left.EqualLayout(cfg.Right) {
+		return nil, fmt.Errorf("intersect: schemas %v and %v are not layout-equal", cfg.Left, cfg.Right)
+	}
+	parts := cfg.Partitions
+	if parts <= 0 {
+		parts = statebuf.DefaultPartitions
+	}
+	calendar := func() statebuf.Buffer {
+		if cfg.ListCalendars {
+			return statebuf.NewList()
+		}
+		return statebuf.NewPartitioned(parts, cfg.Horizon, true)
+	}
+	cols := make([]int, cfg.Left.Len())
+	for i := range cols {
+		cols[i] = i
+	}
+	return &Intersect{
+		schema: cfg.Left,
+		sides: [2]map[tuple.Key][]*isectEntry{
+			make(map[tuple.Key][]*isectEntry),
+			make(map[tuple.Key][]*isectEntry),
+		},
+		expIdx:     [2]statebuf.Buffer{calendar(), calendar()},
+		allCols:    cols,
+		clock:      -1,
+		timeExpiry: !cfg.NoTimeExpiry,
+	}, nil
+}
+
+// Class implements Operator.
+func (x *Intersect) Class() core.OpClass { return core.OpIntersect }
+
+// Schema implements Operator.
+func (x *Intersect) Schema() *tuple.Schema { return x.schema }
+
+// Process implements Operator.
+func (x *Intersect) Process(side int, t tuple.Tuple, now int64) ([]tuple.Tuple, error) {
+	if side != 0 && side != 1 {
+		return nil, badSide("intersect", side)
+	}
+	out, err := x.Advance(now)
+	if err != nil {
+		return nil, err
+	}
+	k := t.Key(x.allCols)
+	if t.Neg {
+		return append(out, x.retract(side, k, t, now)...), nil
+	}
+	e := &isectEntry{t: t, side: side}
+	x.sides[side][k] = append(x.sides[side][k], e)
+	x.sizes[side]++
+	x.expIdx[side].Insert(t)
+	if r := x.tryPair(e, k, now); r != nil {
+		out = append(out, *r)
+	}
+	return out, nil
+}
+
+// tryPair pairs e with the longest-lived unpaired live tuple on the opposite
+// side, returning the emitted result if a pair forms.
+func (x *Intersect) tryPair(e *isectEntry, k tuple.Key, now int64) *tuple.Tuple {
+	var best *isectEntry
+	for _, c := range x.sides[1-e.side][k] {
+		x.touched++
+		if c.partner != nil || c.t.Expired(now) {
+			continue
+		}
+		if best == nil || c.t.Exp > best.t.Exp {
+			best = c
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	e.partner, best.partner = best, e
+	exp := e.t.Exp
+	if best.t.Exp < exp {
+		exp = best.t.Exp
+	}
+	r := e.t
+	r.TS = now
+	r.Exp = exp
+	return &r
+}
+
+// retract removes one support on side matching t, preferring the exact
+// expiration match the negative tuple names (it identifies the actual
+// tuple), then unpaired entries (less churn). Retracting a paired support
+// emits a negative result and attempts a replacement pairing for the partner.
+func (x *Intersect) retract(side int, k tuple.Key, t tuple.Tuple, now int64) []tuple.Tuple {
+	entries := x.sides[side][k]
+	score := func(e *isectEntry) int {
+		s := 0
+		if e.t.Exp == t.Exp {
+			s += 2
+		}
+		if e.partner == nil {
+			s++
+		}
+		return s
+	}
+	victim := -1
+	for i, e := range entries {
+		x.touched++
+		if !e.t.SameVals(t) {
+			continue
+		}
+		if victim < 0 || score(e) > score(entries[victim]) {
+			victim = i
+		}
+	}
+	if victim < 0 {
+		return nil
+	}
+	e := entries[victim]
+	x.drop(side, k, victim)
+	if e.partner == nil {
+		return nil
+	}
+	p := e.partner
+	p.partner, e.partner = nil, nil
+	exp := e.t.Exp
+	if p.t.Exp < exp {
+		exp = p.t.Exp
+	}
+	neg := e.t.Negative(now)
+	neg.Exp = exp
+	out := []tuple.Tuple{neg}
+	if !p.t.Expired(now) {
+		if r := x.tryPair(p, k, now); r != nil {
+			out = append(out, *r)
+		}
+	}
+	return out
+}
+
+func (x *Intersect) drop(side int, k tuple.Key, i int) {
+	entries := x.sides[side][k]
+	entries = append(entries[:i], entries[i+1:]...)
+	if len(entries) == 0 {
+		delete(x.sides[side], k)
+	} else {
+		x.sides[side][k] = entries
+	}
+	x.sizes[side]--
+}
+
+// Advance expires supports eagerly. A result whose pair loses a support
+// expires on its own exp downstream; the surviving partner re-pairs if it
+// can, emitting a replacement.
+func (x *Intersect) Advance(now int64) ([]tuple.Tuple, error) {
+	if !x.timeExpiry || now <= x.clock {
+		return nil, nil
+	}
+	x.clock = now
+	type repairJob struct {
+		e *isectEntry
+		k tuple.Key
+	}
+	var jobs []repairJob
+	for side := 0; side < 2; side++ {
+		for _, t := range x.expIdx[side].ExpireUpTo(now) {
+			k := t.Key(x.allCols)
+			entries := x.sides[side][k]
+			victim := -1
+			for i, e := range entries {
+				x.touched++
+				if !e.t.SameVals(t) || e.t.Exp != t.Exp {
+					continue
+				}
+				victim = i
+				break
+			}
+			if victim < 0 {
+				continue // stale calendar entry (support was retracted)
+			}
+			e := entries[victim]
+			x.drop(side, k, victim)
+			if p := e.partner; p != nil {
+				p.partner, e.partner = nil, nil
+				if !p.t.Expired(now) {
+					jobs = append(jobs, repairJob{e: p, k: k})
+				}
+			}
+		}
+	}
+	// Re-pair survivors deterministically after all expirations settle.
+	sort.SliceStable(jobs, func(i, j int) bool {
+		if jobs[i].e.side != jobs[j].e.side {
+			return jobs[i].e.side < jobs[j].e.side
+		}
+		return jobs[i].e.t.TS < jobs[j].e.t.TS
+	})
+	var out []tuple.Tuple
+	for _, j := range jobs {
+		if j.e.partner != nil || j.e.t.Expired(now) {
+			continue // already re-paired by an earlier job
+		}
+		if r := x.tryPair(j.e, j.k, now); r != nil {
+			out = append(out, *r)
+		}
+	}
+	return out, nil
+}
+
+// StateSize implements Operator.
+func (x *Intersect) StateSize() int { return x.sizes[0] + x.sizes[1] }
+
+// Touched implements Operator.
+func (x *Intersect) Touched() int64 {
+	return x.touched + x.expIdx[0].Touched() + x.expIdx[1].Touched()
+}

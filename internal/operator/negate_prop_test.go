@@ -1,0 +1,129 @@
+package operator
+
+// Property test: the negation operator's maintained answer equals the
+// brute-force Equation 1 evaluation after every event, across random event
+// sequences — a tighter, operator-local complement to the engine-level
+// conformance suite.
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/tuple"
+)
+
+// negModel recomputes Equation 1 from scratch.
+type negModel struct {
+	w1, w2 []tuple.Tuple
+}
+
+func (m *negModel) expire(now int64) {
+	keep := func(ts []tuple.Tuple) []tuple.Tuple {
+		out := ts[:0]
+		for _, t := range ts {
+			if !t.Expired(now) {
+				out = append(out, t)
+			}
+		}
+		return out
+	}
+	m.w1 = keep(m.w1)
+	m.w2 = keep(m.w2)
+}
+
+// answer returns the multiset of in-answer values, sorted.
+func (m *negModel) answer() []int64 {
+	counts2 := map[int64]int{}
+	for _, t := range m.w2 {
+		counts2[t.Vals[0].I]++
+	}
+	var out []int64
+	counts1 := map[int64]int{}
+	for _, t := range m.w1 {
+		counts1[t.Vals[0].I]++
+	}
+	for v, c1 := range counts1 {
+		n := c1 - counts2[v]
+		for i := 0; i < n; i++ {
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func TestNegatePropertyEquation1(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			r := rand.New(rand.NewSource(seed))
+			n := newTestNegate(t)
+			model := &negModel{}
+			// The operator's answer, maintained from its emissions.
+			answer := map[string]int{} // rendered value+exp → count
+			apply := func(outs []tuple.Tuple) {
+				for _, o := range outs {
+					k := fmt.Sprintf("%v@%d", o.Vals[0], o.Exp)
+					if o.Neg {
+						answer[k]--
+						if answer[k] == 0 {
+							delete(answer, k)
+						}
+					} else {
+						answer[k]++
+					}
+				}
+			}
+			expireAnswer := func(now int64) {
+				for k := range answer {
+					var v, exp int64
+					fmt.Sscanf(k, "%d@%d", &v, &exp)
+					if exp <= now {
+						delete(answer, k)
+					}
+				}
+			}
+			now := int64(0)
+			for step := 0; step < 600; step++ {
+				switch r.Intn(4) {
+				case 0, 1: // arrivals
+					side := r.Intn(2)
+					tp := ip(now, now+1+int64(r.Intn(40)), int64(r.Intn(5)))
+					outs := mustProcess(t, n, side, tp, now)
+					apply(outs)
+					if side == 0 {
+						model.w1 = append(model.w1, tp)
+					} else {
+						model.w2 = append(model.w2, tp)
+					}
+				default: // time passes
+					now += int64(r.Intn(5))
+					model.expire(now)
+					expireAnswer(now)
+					apply(mustAdvance(t, n, now))
+					model.expire(now)
+				}
+				// Compare answer multisets by value.
+				var got []int64
+				for k, c := range answer {
+					var v, exp int64
+					fmt.Sscanf(k, "%d@%d", &v, &exp)
+					for i := 0; i < c; i++ {
+						got = append(got, v)
+					}
+				}
+				sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+				want := model.answer()
+				if len(got) != len(want) {
+					t.Fatalf("step %d (t=%d): answer %v != model %v", step, now, got, want)
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("step %d (t=%d): answer %v != model %v", step, now, got, want)
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,80 @@
+// Package operator implements the physical continuous-query operators of
+// Sections 2.1, 4.1 and 5.3.1 of Golab & Özsu (SIGMOD 2005).
+//
+// Every operator processes three kinds of events:
+//
+//   - arrival of a positive tuple on one of its inputs (Process with
+//     t.Neg == false): update state, emit new results;
+//   - arrival of a negative tuple (Process with t.Neg == true): remove the
+//     corresponding tuple from state and emit the retractions of results it
+//     participated in — this path carries both the negative-tuple execution
+//     strategy (Section 2.3.1) and retractions originating at negation /
+//     retroactive-relation operators;
+//   - passage of time (Advance): expire state whose exp timestamps are due.
+//     Lazily-maintained operators (join inputs) merely discard; eager
+//     operators (duplicate elimination, group-by, negation, intersection)
+//     may emit new results in response (Section 2.3).
+//
+// Operators never expire state beyond their local clock (Section 2.3.2),
+// which the executor advances explicitly.
+package operator
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/statebuf"
+	"repro/internal/tuple"
+)
+
+// Operator is the contract between the executor and every physical operator.
+type Operator interface {
+	// Class identifies the logical operator for pattern propagation.
+	Class() core.OpClass
+	// Schema is the output schema.
+	Schema() *tuple.Schema
+	// Process handles one input tuple (positive or negative) arriving on
+	// input side (0 for unary operators), with the local clock at now.
+	// It returns the tuples emitted on the output stream, in order.
+	Process(side int, t tuple.Tuple, now int64) ([]tuple.Tuple, error)
+	// Advance moves the local clock to now, expiring due state per the
+	// operator's maintenance policy, and returns any output this produces.
+	Advance(now int64) ([]tuple.Tuple, error)
+	// StateSize returns the number of tuples currently stored.
+	StateSize() int
+	// Touched returns cumulative tuple visits across the operator's state
+	// structures (cost accounting for the experiments).
+	Touched() int64
+}
+
+// noExpiry, passed as the probe time, makes every stored tuple probe-visible
+// regardless of its exp timestamp — the negative-tuple strategy's view of
+// state, where only explicit retractions retire tuples.
+const noExpiry = int64(-1) << 62
+
+// probe visits live (non-expired) tuples in buf whose key over keyCols
+// equals k, using O(1) hash probing when the buffer supports it and a
+// filtered scan otherwise (the linked-list probing of the baseline
+// strategies).
+func probe(buf statebuf.Buffer, keyCols []int, k tuple.Key, now int64, fn func(t tuple.Tuple) bool) {
+	if p, ok := buf.(statebuf.Prober); ok {
+		p.Probe(k, func(t tuple.Tuple) bool {
+			if t.Expired(now) {
+				return true
+			}
+			return fn(t)
+		})
+		return
+	}
+	buf.Scan(func(t tuple.Tuple) bool {
+		if t.Expired(now) || t.Key(keyCols) != k {
+			return true
+		}
+		return fn(t)
+	})
+}
+
+// badSide builds the error for an out-of-range input side.
+func badSide(op string, side int) error {
+	return fmt.Errorf("%s: no input side %d", op, side)
+}

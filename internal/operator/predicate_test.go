@@ -1,0 +1,119 @@
+package operator
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/tuple"
+)
+
+func pt(vals ...tuple.Value) tuple.Tuple { return tuple.New(0, vals...) }
+
+func TestCmpOps(t *testing.T) {
+	cases := []struct {
+		op   CmpOp
+		a, b int64
+		want bool
+	}{
+		{EQ, 1, 1, true}, {EQ, 1, 2, false},
+		{NE, 1, 2, true}, {NE, 1, 1, false},
+		{LT, 1, 2, true}, {LT, 2, 2, false},
+		{LE, 2, 2, true}, {LE, 3, 2, false},
+		{GT, 3, 2, true}, {GT, 2, 2, false},
+		{GE, 2, 2, true}, {GE, 1, 2, false},
+	}
+	for _, c := range cases {
+		p := ColConst{Col: 0, Op: c.op, Val: tuple.Int(c.b)}
+		if got := p.Eval(pt(tuple.Int(c.a))); got != c.want {
+			t.Errorf("%d %v %d = %v, want %v", c.a, c.op, c.b, got, c.want)
+		}
+	}
+	if CmpOp(99).eval(0) {
+		t.Error("unknown op must evaluate false")
+	}
+	if CmpOp(99).String() == "" || EQ.String() != "=" || NE.String() != "!=" {
+		t.Error("CmpOp names")
+	}
+}
+
+func TestColColPredicate(t *testing.T) {
+	p := ColCol{Left: 0, Right: 1, Op: EQ}
+	if !p.Eval(pt(tuple.Int(5), tuple.Int(5))) || p.Eval(pt(tuple.Int(5), tuple.Int(6))) {
+		t.Error("ColCol EQ wrong")
+	}
+	if !strings.Contains(p.String(), "$0") || !strings.Contains(p.String(), "$1") {
+		t.Errorf("String = %q", p.String())
+	}
+}
+
+func TestBooleanCombinators(t *testing.T) {
+	ge3 := ColConst{Col: 0, Op: GE, Val: tuple.Int(3)}
+	le7 := ColConst{Col: 0, Op: LE, Val: tuple.Int(7)}
+	and := And{ge3, le7}
+	or := Or{ColConst{Col: 0, Op: EQ, Val: tuple.Int(1)}, ColConst{Col: 0, Op: EQ, Val: tuple.Int(9)}}
+	not := Not{P: ge3}
+
+	if !and.Eval(pt(tuple.Int(5))) || and.Eval(pt(tuple.Int(8))) {
+		t.Error("And wrong")
+	}
+	if !or.Eval(pt(tuple.Int(9))) || or.Eval(pt(tuple.Int(5))) {
+		t.Error("Or wrong")
+	}
+	if not.Eval(pt(tuple.Int(5))) || !not.Eval(pt(tuple.Int(1))) {
+		t.Error("Not wrong")
+	}
+	if !(And{}).Eval(pt(tuple.Int(0))) {
+		t.Error("empty And must be true")
+	}
+	if (Or{}).Eval(pt(tuple.Int(0))) {
+		t.Error("empty Or must be false")
+	}
+	if !(True{}).Eval(pt()) {
+		t.Error("True must hold")
+	}
+	for _, s := range []string{and.String(), or.String(), not.String(), (And{}).String(), (Or{}).String(), (True{}).String()} {
+		if s == "" {
+			t.Error("empty predicate rendering")
+		}
+	}
+}
+
+func TestSelectivities(t *testing.T) {
+	eq := ColConst{Col: 0, Op: EQ, Val: tuple.Int(1)}
+	if eq.Selectivity() != 0.1 {
+		t.Errorf("default EQ selectivity = %v", eq.Selectivity())
+	}
+	lt := ColConst{Col: 0, Op: LT, Val: tuple.Int(1)}
+	if lt.Selectivity() != 0.5 {
+		t.Errorf("default range selectivity = %v", lt.Selectivity())
+	}
+	custom := ColConst{Col: 0, Op: EQ, Val: tuple.Int(1), Sel: 0.25}
+	if custom.Selectivity() != 0.25 {
+		t.Errorf("explicit selectivity = %v", custom.Selectivity())
+	}
+	cc := ColCol{Left: 0, Right: 1, Op: EQ}
+	if cc.Selectivity() != 0.1 {
+		t.Errorf("ColCol EQ selectivity = %v", cc.Selectivity())
+	}
+	if (ColCol{Left: 0, Right: 1, Op: LT}).Selectivity() != 0.5 {
+		t.Error("ColCol range selectivity")
+	}
+	if (ColCol{Left: 0, Right: 1, Op: LT, Sel: 0.3}).Selectivity() != 0.3 {
+		t.Error("ColCol explicit selectivity")
+	}
+	and := And{eq, lt}
+	if got := and.Selectivity(); got < 0.049 || got > 0.051 {
+		t.Errorf("And selectivity = %v", got)
+	}
+	or := Or{eq, eq}
+	if got := or.Selectivity(); got < 0.189 || got > 0.191 {
+		t.Errorf("Or selectivity = %v", got)
+	}
+	not := Not{P: eq}
+	if got := not.Selectivity(); got < 0.899 || got > 0.901 {
+		t.Errorf("Not selectivity = %v", got)
+	}
+	if (True{}).Selectivity() != 1 {
+		t.Error("True selectivity")
+	}
+}

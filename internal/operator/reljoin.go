@@ -1,0 +1,323 @@
+package operator
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/relation"
+	"repro/internal/statebuf"
+	"repro/internal/tuple"
+)
+
+// TableOperator is implemented by operators that consume a relation or NRR
+// and must observe its updates; the executor routes table mutations here.
+type TableOperator interface {
+	Operator
+	// Table returns the table the operator reads.
+	Table() *relation.Table
+	// ApplyTableUpdate reacts to one table mutation at time now.
+	ApplyTableUpdate(u relation.Update, now int64) ([]tuple.Tuple, error)
+}
+
+// NRRJoin joins a stream or window with a non-retroactive relation
+// (Section 4.1, ⋈NRR). Because NRR updates only affect stream tuples that
+// arrive later, the operator never stores its streaming input and never
+// reacts to table updates: each stream arrival probes the table's current
+// state and the results inherit the stream tuple's expiration. Its output
+// therefore preserves the input's update pattern (Rule 1) — monotonic over a
+// raw stream, weakest non-monotonic over a window.
+//
+// Under the negative-tuple strategy the operator must retract results for
+// expiring stream tuples even though the table may have changed since they
+// joined; it therefore keeps a log of the results each stream tuple produced
+// (only in that mode does any state accrue).
+type NRRJoin struct {
+	schema     *tuple.Schema
+	table      *relation.Table
+	streamCols []int
+	tableCols  []int
+	// emitted logs results per stream tuple for NT-mode retraction; lazily
+	// allocated on the first negative arrival... see Process.
+	emitted map[tuple.Key][]emitRecord
+	logAll  bool
+	size    int
+	touched int64
+}
+
+type emitRecord struct {
+	exp     int64
+	results []tuple.Tuple
+}
+
+// NRRJoinConfig configures a ⋈NRR operator.
+type NRRJoinConfig struct {
+	Stream *tuple.Schema
+	Table  *relation.Table
+	// StreamCols/TableCols are the equijoin positions, pairwise.
+	StreamCols, TableCols []int
+	// LogResults enables the NT-mode retraction log. The direct strategies
+	// leave it off, keeping the operator stateless as Section 4.1 promises.
+	LogResults bool
+}
+
+// NewNRRJoin builds a ⋈NRR operator.
+func NewNRRJoin(cfg NRRJoinConfig) (*NRRJoin, error) {
+	if cfg.Table.Retroactive() {
+		return nil, fmt.Errorf("nrr-join: table %s is retroactive; use RelJoin", cfg.Table.Name())
+	}
+	if err := checkJoinCols("nrr-join", cfg.Stream, cfg.Table.Schema(), cfg.StreamCols, cfg.TableCols); err != nil {
+		return nil, err
+	}
+	cfg.Table.EnsureIndex(cfg.TableCols)
+	j := &NRRJoin{
+		schema:     cfg.Stream.Concat(cfg.Table.Schema()),
+		table:      cfg.Table,
+		streamCols: append([]int(nil), cfg.StreamCols...),
+		tableCols:  append([]int(nil), cfg.TableCols...),
+		logAll:     cfg.LogResults,
+	}
+	if cfg.LogResults {
+		j.emitted = make(map[tuple.Key][]emitRecord)
+	}
+	return j, nil
+}
+
+func checkJoinCols(op string, left, right *tuple.Schema, lc, rc []int) error {
+	if len(lc) == 0 || len(lc) != len(rc) {
+		return fmt.Errorf("%s: key columns must be non-empty and pairwise", op)
+	}
+	for _, c := range lc {
+		if c < 0 || c >= left.Len() {
+			return fmt.Errorf("%s: left key column %d out of range", op, c)
+		}
+	}
+	for _, c := range rc {
+		if c < 0 || c >= right.Len() {
+			return fmt.Errorf("%s: right key column %d out of range", op, c)
+		}
+	}
+	return nil
+}
+
+// Class implements Operator.
+func (j *NRRJoin) Class() core.OpClass { return core.OpNRRJoin }
+
+// Schema implements Operator.
+func (j *NRRJoin) Schema() *tuple.Schema { return j.schema }
+
+// Table implements TableOperator.
+func (j *NRRJoin) Table() *relation.Table { return j.table }
+
+// Process implements Operator.
+func (j *NRRJoin) Process(side int, t tuple.Tuple, now int64) ([]tuple.Tuple, error) {
+	if side != 0 {
+		return nil, badSide("nrr-join", side)
+	}
+	if t.Neg {
+		return j.processNegative(t, now), nil
+	}
+	k := t.Key(j.streamCols)
+	var out []tuple.Tuple
+	j.table.Probe(j.tableCols, k, func(vals []tuple.Value) bool {
+		j.touched++
+		row := tuple.Tuple{TS: t.TS, Exp: tuple.NeverExpires, Vals: vals}
+		r := t.Concat(row, now)
+		// NRR deletions never retract: the result lives as long as the
+		// stream tuple, regardless of the row's fate (Definition 2).
+		r.Exp = t.Exp
+		out = append(out, r)
+		return true
+	})
+	if j.logAll && len(out) > 0 {
+		j.emitted[k] = append(j.emitted[k], emitRecord{exp: t.Exp, results: out})
+		j.size += len(out)
+	}
+	return out, nil
+}
+
+func (j *NRRJoin) processNegative(t tuple.Tuple, now int64) []tuple.Tuple {
+	if !j.logAll {
+		// Direct strategies: results expire via exp; nothing to do.
+		return nil
+	}
+	k := t.Key(j.streamCols)
+	recs := j.emitted[k]
+	if len(recs) == 0 {
+		return nil
+	}
+	// Retract only the record matching the expiring tuple's expiration —
+	// a value twin that produced no results has no record, and guessing
+	// would retract someone else's results.
+	at := -1
+	for i, r := range recs {
+		if r.exp == t.Exp {
+			at = i
+			break
+		}
+	}
+	if at < 0 {
+		return nil
+	}
+	rec := recs[at]
+	recs = append(recs[:at], recs[at+1:]...)
+	if len(recs) == 0 {
+		delete(j.emitted, k)
+	} else {
+		j.emitted[k] = recs
+	}
+	j.size -= len(rec.results)
+	out := make([]tuple.Tuple, 0, len(rec.results))
+	for _, r := range rec.results {
+		out = append(out, r.Negative(now))
+	}
+	return out
+}
+
+// ApplyTableUpdate implements TableOperator: NRR updates are non-retroactive
+// and produce nothing.
+func (j *NRRJoin) ApplyTableUpdate(relation.Update, int64) ([]tuple.Tuple, error) {
+	return nil, nil
+}
+
+// Advance implements Operator (nothing to expire; the NT log shrinks on
+// retractions).
+func (j *NRRJoin) Advance(int64) ([]tuple.Tuple, error) { return nil, nil }
+
+// StateSize implements Operator: zero in direct mode (Section 4.1's "the
+// streaming input does not have to be stored"); the retraction log otherwise.
+func (j *NRRJoin) StateSize() int { return j.size }
+
+// Touched implements Operator.
+func (j *NRRJoin) Touched() int64 { return j.touched }
+
+// RelJoin joins a window with a traditional, retroactive relation (⋈R).
+// Per Section 4.1, retroactivity makes it strict non-monotonic: a table
+// insertion joins against the stored window state, and a table deletion
+// retracts previously reported results with negative tuples. The window side
+// must therefore be stored.
+type RelJoin struct {
+	schema     *tuple.Schema
+	table      *relation.Table
+	streamCols []int
+	tableCols  []int
+	state      statebuf.Buffer
+	clock      int64
+	timeExpiry bool
+	touched    int64
+}
+
+// RelJoinConfig configures a ⋈R operator.
+type RelJoinConfig struct {
+	Stream *tuple.Schema
+	Table  *relation.Table
+	// StreamCols/TableCols are the equijoin positions, pairwise.
+	StreamCols, TableCols []int
+	// StreamBuf chooses the window-side state structure.
+	StreamBuf statebuf.Config
+	// NoTimeExpiry marks negative-tuple-strategy state: tuples stay
+	// probe-visible until explicitly retracted, and Advance never trims.
+	NoTimeExpiry bool
+}
+
+// NewRelJoin builds a ⋈R operator.
+func NewRelJoin(cfg RelJoinConfig) (*RelJoin, error) {
+	if err := checkJoinCols("rel-join", cfg.Stream, cfg.Table.Schema(), cfg.StreamCols, cfg.TableCols); err != nil {
+		return nil, err
+	}
+	cfg.Table.EnsureIndex(cfg.TableCols)
+	if cfg.StreamBuf.Kind == statebuf.KindHash {
+		cfg.StreamBuf.KeyCols = cfg.StreamCols
+	}
+	return &RelJoin{
+		schema:     cfg.Stream.Concat(cfg.Table.Schema()),
+		table:      cfg.Table,
+		streamCols: append([]int(nil), cfg.StreamCols...),
+		tableCols:  append([]int(nil), cfg.TableCols...),
+		state:      statebuf.New(cfg.StreamBuf),
+		clock:      -1,
+		timeExpiry: !cfg.NoTimeExpiry,
+	}, nil
+}
+
+// Class implements Operator.
+func (j *RelJoin) Class() core.OpClass { return core.OpRelJoin }
+
+// Schema implements Operator.
+func (j *RelJoin) Schema() *tuple.Schema { return j.schema }
+
+// Table implements TableOperator.
+func (j *RelJoin) Table() *relation.Table { return j.table }
+
+// Process implements Operator.
+func (j *RelJoin) Process(side int, t tuple.Tuple, now int64) ([]tuple.Tuple, error) {
+	if side != 0 {
+		return nil, badSide("rel-join", side)
+	}
+	if now > j.clock {
+		j.clock = now
+	}
+	k := t.Key(j.streamCols)
+	if t.Neg {
+		if !j.state.Remove(t) {
+			return nil, nil
+		}
+		return j.joinRow(t, k, now, true), nil
+	}
+	j.state.Insert(t)
+	return j.joinRow(t, k, now, false), nil
+}
+
+func (j *RelJoin) joinRow(t tuple.Tuple, k tuple.Key, now int64, neg bool) []tuple.Tuple {
+	var out []tuple.Tuple
+	j.table.Probe(j.tableCols, k, func(vals []tuple.Value) bool {
+		j.touched++
+		row := tuple.Tuple{TS: t.TS, Exp: tuple.NeverExpires, Vals: vals}
+		r := t.Concat(row, now)
+		r.Exp = t.Exp
+		r.Neg = neg
+		out = append(out, r)
+		return true
+	})
+	return out
+}
+
+// ApplyTableUpdate implements TableOperator: insertions join against the
+// stored window; deletions retract previously reported results.
+func (j *RelJoin) ApplyTableUpdate(u relation.Update, now int64) ([]tuple.Tuple, error) {
+	if now > j.clock {
+		j.clock = now
+	}
+	rowT := tuple.Tuple{TS: u.TS, Exp: tuple.NeverExpires, Vals: u.Row}
+	k := rowT.Key(j.tableCols)
+	probeAt := j.clock
+	if !j.timeExpiry {
+		probeAt = noExpiry
+	}
+	var out []tuple.Tuple
+	probe(j.state, j.streamCols, k, probeAt, func(s tuple.Tuple) bool {
+		j.touched++
+		r := s.Concat(rowT, now)
+		r.Exp = s.Exp
+		r.Neg = u.Kind == relation.Delete
+		out = append(out, r)
+		return true
+	})
+	return out, nil
+}
+
+// Advance lazily trims expired window state.
+func (j *RelJoin) Advance(now int64) ([]tuple.Tuple, error) {
+	if now > j.clock {
+		j.clock = now
+	}
+	if j.timeExpiry {
+		j.state.ExpireUpTo(j.clock)
+	}
+	return nil, nil
+}
+
+// StateSize implements Operator.
+func (j *RelJoin) StateSize() int { return j.state.Len() }
+
+// Touched implements Operator.
+func (j *RelJoin) Touched() int64 { return j.touched + j.state.Touched() }

@@ -1,0 +1,370 @@
+package plan
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/operator"
+	"repro/internal/tuple"
+	"repro/internal/window"
+)
+
+// Estimates are the per-node quantities the cost model of Section 5.4.1
+// consumes: input/output rates (λ), expected live sizes (N), and distinct
+// value counts (d). They are derived from per-stream statistics during
+// annotation.
+type Estimates struct {
+	// Rate is the expected output tuples per time unit (λo).
+	Rate float64
+	// Size is the expected number of live result tuples (No).
+	Size float64
+	// Distinct is the expected number of distinct values on the node's key
+	// attribute (or full tuple for Distinct), d.
+	Distinct float64
+}
+
+// StreamStats describes one base stream for estimation purposes.
+type StreamStats struct {
+	// Rate is arrivals per time unit; Section 6.1 fixes one per link.
+	Rate float64
+	// Distinct maps column position to expected distinct value count.
+	Distinct map[int]float64
+}
+
+// Stats carries estimation inputs for a whole query.
+type Stats struct {
+	// Streams maps stream id to its statistics.
+	Streams map[int]StreamStats
+	// DefaultRate applies to streams without explicit stats (default 1).
+	DefaultRate float64
+	// DefaultDistinct applies to columns without explicit stats
+	// (default 100).
+	DefaultDistinct float64
+}
+
+// DefaultStats returns the Section 6.1 defaults: one tuple per time unit
+// per link, 100 distinct values per column.
+func DefaultStats() Stats {
+	return Stats{DefaultRate: 1, DefaultDistinct: 100}
+}
+
+func (s Stats) rate(stream int) float64 {
+	if st, ok := s.Streams[stream]; ok && st.Rate > 0 {
+		return st.Rate
+	}
+	if s.DefaultRate > 0 {
+		return s.DefaultRate
+	}
+	return 1
+}
+
+func (s Stats) distinct(stream, col int) float64 {
+	if st, ok := s.Streams[stream]; ok {
+		if d, ok := st.Distinct[col]; ok && d > 0 {
+			return d
+		}
+	}
+	if s.DefaultDistinct > 0 {
+		return s.DefaultDistinct
+	}
+	return 100
+}
+
+// Annotate validates the plan, derives output schemas, labels every node
+// with the update pattern of its output edge per the five rules of Section
+// 5.2, computes expiration horizons, and fills cost estimates. It returns an
+// error for malformed plans, including the Section 5.4.2 constraint that
+// relation joins cannot consume strict non-monotonic input, and the Rule-4
+// restriction that group-by results (replacement semantics) feed only the
+// materialized result, not further operators.
+func Annotate(n *Node, stats Stats) error {
+	if err := annotate(n, stats); err != nil {
+		return err
+	}
+	// Group-by replacement semantics are only materializable at the root.
+	return checkGroupByPlacement(n, true)
+}
+
+func checkGroupByPlacement(n *Node, isRoot bool) error {
+	if n.Kind == GroupBy && !isRoot {
+		return fmt.Errorf("plan: group-by must be the plan root (its replacement results have no tuple-level retractions for downstream operators)")
+	}
+	for _, in := range n.Inputs {
+		if err := checkGroupByPlacement(in, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func annotate(n *Node, stats Stats) error {
+	for _, in := range n.Inputs {
+		if err := annotate(in, stats); err != nil {
+			return err
+		}
+	}
+	if err := arity(n); err != nil {
+		return err
+	}
+	switch n.Kind {
+	case Source:
+		if n.Source == nil {
+			return fmt.Errorf("plan: source S%d has no schema", n.StreamID)
+		}
+		if err := n.Window.Validate(); err != nil {
+			return err
+		}
+		n.Schema = n.Source
+		switch {
+		case n.Window.IsUnbounded():
+			n.Pattern = core.Monotonic
+			n.Horizon = 0
+		case n.Window.Type == window.TimeBased:
+			// Individual time windows expire FIFO (Section 3.1).
+			n.Pattern = core.Weakest
+			n.Horizon = n.Window.Size
+		default:
+			// Count-based windows (the paper's Section 7 future work):
+			// eviction happens when later tuples arrive, which exp
+			// timestamps cannot predict, so evictions travel as negative
+			// tuples and the edge is strict non-monotonic.
+			n.Pattern = core.Strict
+			n.Horizon = 0
+		}
+		rate := stats.rate(n.StreamID)
+		size := rate * float64(n.Window.Size)
+		if n.Window.IsUnbounded() {
+			size = 0 // not stored
+		}
+		n.Est = Estimates{Rate: rate, Size: size, Distinct: stats.distinct(n.StreamID, 0)}
+		return nil
+
+	case Select:
+		in := n.Inputs[0]
+		if n.Pred == nil {
+			return fmt.Errorf("plan: select with nil predicate")
+		}
+		n.Schema = in.Schema
+		sel := n.Pred.Selectivity()
+		n.Est = Estimates{Rate: in.Est.Rate * sel, Size: in.Est.Size * sel, Distinct: in.Est.Distinct * sel}
+
+	case Project:
+		in := n.Inputs[0]
+		out, err := in.Schema.Project(n.Cols)
+		if err != nil {
+			return err
+		}
+		n.Schema = out
+		n.Est = in.Est
+
+	case Union:
+		l, r := n.Inputs[0], n.Inputs[1]
+		if !l.Schema.EqualLayout(r.Schema) {
+			return fmt.Errorf("plan: union inputs %v and %v are not layout-equal", l.Schema, r.Schema)
+		}
+		n.Schema = l.Schema
+		n.Est = Estimates{
+			Rate:     l.Est.Rate + r.Est.Rate,
+			Size:     l.Est.Size + r.Est.Size,
+			Distinct: l.Est.Distinct + r.Est.Distinct,
+		}
+
+	case Join:
+		l, r := n.Inputs[0], n.Inputs[1]
+		if err := checkKeyCols(n, l.Schema, r.Schema); err != nil {
+			return err
+		}
+		n.Schema = l.Schema.Concat(r.Schema)
+		d := maxf(l.Est.Distinct, r.Est.Distinct, 1)
+		selJ := 1 / d
+		n.Est = Estimates{
+			Rate:     (l.Est.Rate*r.Est.Size + r.Est.Rate*l.Est.Size) * selJ,
+			Size:     l.Est.Size * r.Est.Size * selJ,
+			Distinct: minf(l.Est.Distinct, r.Est.Distinct),
+		}
+
+	case Intersect:
+		l, r := n.Inputs[0], n.Inputs[1]
+		if !l.Schema.EqualLayout(r.Schema) {
+			return fmt.Errorf("plan: intersect inputs %v and %v are not layout-equal", l.Schema, r.Schema)
+		}
+		n.Schema = l.Schema
+		n.Est = Estimates{
+			Rate:     minf(l.Est.Rate, r.Est.Rate),
+			Size:     minf(l.Est.Size, r.Est.Size),
+			Distinct: minf(l.Est.Distinct, r.Est.Distinct),
+		}
+
+	case Distinct:
+		in := n.Inputs[0]
+		n.Schema = in.Schema
+		d := minf(in.Est.Distinct, in.Est.Size)
+		n.Est = Estimates{Rate: minf(in.Est.Rate, d), Size: d, Distinct: d}
+
+	case GroupBy:
+		in := n.Inputs[0]
+		if len(n.Aggs) == 0 {
+			return fmt.Errorf("plan: group-by needs at least one aggregate")
+		}
+		for _, c := range n.GroupCols {
+			if c < 0 || c >= in.Schema.Len() {
+				return fmt.Errorf("plan: group column %d out of range", c)
+			}
+		}
+		for _, a := range n.Aggs {
+			if a.Kind != operator.Count && (a.Col < 0 || a.Col >= in.Schema.Len()) {
+				return fmt.Errorf("plan: aggregate column %d out of range", a.Col)
+			}
+		}
+		schema, err := groupBySchema(in.Schema, n.GroupCols, n.Aggs)
+		if err != nil {
+			return err
+		}
+		n.Schema = schema
+		groups := in.Est.Distinct
+		if len(n.GroupCols) == 0 {
+			groups = 1
+		}
+		// Every arrival and every expiration updates one group (2λ).
+		n.Est = Estimates{Rate: 2 * in.Est.Rate, Size: groups, Distinct: groups}
+
+	case Negate:
+		l, r := n.Inputs[0], n.Inputs[1]
+		if err := checkKeyCols(n, l.Schema, r.Schema); err != nil {
+			return err
+		}
+		n.Schema = l.Schema
+		n.Est = Estimates{
+			Rate:     l.Est.Rate + r.Est.Rate,
+			Size:     l.Est.Size,
+			Distinct: l.Est.Distinct,
+		}
+
+	case RelJoin, NRRJoin:
+		in := n.Inputs[0]
+		if n.Table == nil {
+			return fmt.Errorf("plan: %s with nil table", n.Kind)
+		}
+		if n.Kind == NRRJoin && n.Table.Retroactive() {
+			return fmt.Errorf("plan: table %s is retroactive; use RelJoin", n.Table.Name())
+		}
+		if n.Kind == RelJoin && !n.Table.Retroactive() {
+			return fmt.Errorf("plan: table %s is non-retroactive; use NRRJoin", n.Table.Name())
+		}
+		if err := checkKeyCols(n, in.Schema, n.Table.Schema()); err != nil {
+			return err
+		}
+		// Section 5.4.2: relation joins cannot process negative tuples.
+		if in.Pattern == core.Strict {
+			return fmt.Errorf("plan: %s cannot consume strict non-monotonic input (Section 5.4.2)", n.Kind)
+		}
+		n.Schema = in.Schema.Concat(n.Table.Schema())
+		rows := float64(n.Table.Len())
+		if rows == 0 {
+			rows = 1
+		}
+		selJ := 1 / maxf(in.Est.Distinct, 1)
+		n.Est = Estimates{
+			Rate:     in.Est.Rate * rows * selJ,
+			Size:     in.Est.Size * rows * selJ,
+			Distinct: in.Est.Distinct,
+		}
+
+	default:
+		return fmt.Errorf("plan: unknown node kind %v", n.Kind)
+	}
+
+	// Update pattern via the Section 5.2 rules.
+	opc, _ := n.Kind.OpClass()
+	ins := make([]core.Pattern, len(n.Inputs))
+	for i, in := range n.Inputs {
+		ins[i] = in.Pattern
+	}
+	n.Pattern = core.Propagate(opc, ins...)
+	if !core.Feasible(opc, ins...) {
+		return fmt.Errorf("plan: %v over unbounded input needs unbounded state; add a window", n.Kind)
+	}
+
+	// Expiration horizon: results live at most as long as the longest
+	// contributing window.
+	n.Horizon = 0
+	for _, in := range n.Inputs {
+		if in.Horizon > n.Horizon {
+			n.Horizon = in.Horizon
+		}
+	}
+	return nil
+}
+
+func arity(n *Node) error {
+	want := 1
+	switch n.Kind {
+	case Source:
+		want = 0
+	case Union, Join, Intersect, Negate:
+		want = 2
+	}
+	if len(n.Inputs) != want {
+		return fmt.Errorf("plan: %v wants %d inputs, has %d", n.Kind, want, len(n.Inputs))
+	}
+	return nil
+}
+
+func checkKeyCols(n *Node, left, right *tuple.Schema) error {
+	if len(n.LeftCols) == 0 || len(n.LeftCols) != len(n.RightCols) {
+		return fmt.Errorf("plan: %v key columns must be non-empty and pairwise", n.Kind)
+	}
+	for _, c := range n.LeftCols {
+		if c < 0 || c >= left.Len() {
+			return fmt.Errorf("plan: %v left key column %d out of range", n.Kind, c)
+		}
+	}
+	for _, c := range n.RightCols {
+		if c < 0 || c >= right.Len() {
+			return fmt.Errorf("plan: %v right key column %d out of range", n.Kind, c)
+		}
+	}
+	return nil
+}
+
+// groupBySchema mirrors operator.NewGroupBy's schema derivation so the plan
+// can be annotated without instantiating operators.
+func groupBySchema(in *tuple.Schema, groupCols []int, aggs []operator.AggSpec) (*tuple.Schema, error) {
+	cols := make([]tuple.Column, 0, len(groupCols)+len(aggs))
+	for _, c := range groupCols {
+		cols = append(cols, in.Col(c))
+	}
+	for i, a := range aggs {
+		kind := tuple.KindFloat
+		switch a.Kind {
+		case operator.Count:
+			kind = tuple.KindInt
+		case operator.Min, operator.Max:
+			if a.Col >= 0 && a.Col < in.Len() {
+				kind = in.Col(a.Col).Kind
+			}
+		}
+		cols = append(cols, tuple.Column{Name: fmt.Sprintf("agg%d_%s", i, a.Kind), Kind: kind})
+	}
+	return tuple.NewSchema(cols...)
+}
+
+func maxf(vals ...float64) float64 {
+	out := vals[0]
+	for _, v := range vals[1:] {
+		if v > out {
+			out = v
+		}
+	}
+	return out
+}
+
+func minf(vals ...float64) float64 {
+	out := vals[0]
+	for _, v := range vals[1:] {
+		if v < out {
+			out = v
+		}
+	}
+	return out
+}

@@ -1,0 +1,222 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/operator"
+	"repro/internal/relation"
+	"repro/internal/tuple"
+	"repro/internal/window"
+)
+
+func linkSchema() *tuple.Schema {
+	return tuple.MustSchema(
+		tuple.Column{Name: "src", Kind: tuple.KindInt},
+		tuple.Column{Name: "proto", Kind: tuple.KindString},
+		tuple.Column{Name: "bytes", Kind: tuple.KindInt},
+	)
+}
+
+func win(id int, size int64) *Node {
+	return NewSource(id, window.Spec{Type: window.TimeBased, Size: size}, linkSchema())
+}
+
+func mustAnnotate(t *testing.T, n *Node) *Node {
+	t.Helper()
+	if err := Annotate(n, DefaultStats()); err != nil {
+		t.Fatalf("Annotate: %v", err)
+	}
+	return n
+}
+
+func TestAnnotateSourcePatterns(t *testing.T) {
+	n := mustAnnotate(t, win(0, 100))
+	if n.Pattern != core.Weakest || n.Horizon != 100 || n.Schema.Len() != 3 {
+		t.Errorf("time window: %v %d", n.Pattern, n.Horizon)
+	}
+	u := mustAnnotate(t, NewSource(0, window.Unbounded, linkSchema()))
+	if u.Pattern != core.Monotonic {
+		t.Errorf("unbounded: %v", u.Pattern)
+	}
+	c := mustAnnotate(t, NewSource(0, window.Spec{Type: window.CountBased, Size: 10}, linkSchema()))
+	if c.Pattern != core.Strict {
+		t.Errorf("count window: %v", c.Pattern)
+	}
+}
+
+// TestAnnotateFigure6Patterns rebuilds both rewritings of Figure 6 and
+// checks the edge annotations the paper shows: negation push-down makes the
+// join consume a STR edge; pull-up keeps the join edges at WKS/WK.
+func TestAnnotateFigure6Patterns(t *testing.T) {
+	ftp := func(id int) *Node {
+		return NewSelect(win(id, 100), operator.ColConst{Col: 1, Op: operator.EQ, Val: tuple.String_("ftp")})
+	}
+	// Push-down shape: join(negate(W1,W2), σ(W3)).
+	pushDown := mustAnnotate(t, NewJoin(NewNegate(win(0, 100), win(1, 100), []int{0}, []int{0}), ftp(2), []int{0}, []int{0}))
+	if pushDown.Inputs[0].Pattern != core.Strict {
+		t.Errorf("negation edge: %v", pushDown.Inputs[0].Pattern)
+	}
+	if pushDown.Pattern != core.Strict {
+		t.Errorf("join over STR input must be STR (Rule 3): %v", pushDown.Pattern)
+	}
+	// Pull-up shape: negate(join(W1, σ(W3)), W2).
+	pullUp := mustAnnotate(t, NewNegate(NewJoin(win(0, 100), ftp(2), []int{0}, []int{0}), win(1, 100), []int{0}, []int{0}))
+	if pullUp.Inputs[0].Pattern != core.Weak {
+		t.Errorf("join edge must be WK under pull-up: %v", pullUp.Inputs[0].Pattern)
+	}
+	if pullUp.Pattern != core.Strict {
+		t.Errorf("negation output must be STR: %v", pullUp.Pattern)
+	}
+	// Rendering includes pattern labels (Figure 6's annotations).
+	if s := pullUp.String(); !strings.Contains(s, "[STR]") || !strings.Contains(s, "[WK]") || !strings.Contains(s, "[WKS]") {
+		t.Errorf("render missing pattern labels:\n%s", s)
+	}
+}
+
+func TestAnnotateGroupByAlwaysWeak(t *testing.T) {
+	g := mustAnnotate(t, NewGroupBy(NewNegate(win(0, 50), win(1, 50), []int{0}, []int{0}),
+		[]int{0}, operator.AggSpec{Kind: operator.Count}))
+	if g.Pattern != core.Weak {
+		t.Errorf("group-by over STR must stay WK (Rule 4): %v", g.Pattern)
+	}
+}
+
+func TestAnnotateGroupByMustBeRoot(t *testing.T) {
+	g := NewGroupBy(win(0, 50), []int{0}, operator.AggSpec{Kind: operator.Count})
+	bad := NewSelect(g, operator.ColConst{Col: 1, Op: operator.GT, Val: tuple.Int(3)})
+	if err := Annotate(bad, DefaultStats()); err == nil {
+		t.Error("group-by below another operator must be rejected")
+	}
+}
+
+func TestAnnotateNRRJoinPreservesPattern(t *testing.T) {
+	tbl := relation.NewNRR("t", tuple.MustSchema(tuple.Column{Name: "sym", Kind: tuple.KindInt}))
+	j := mustAnnotate(t, NewNRRJoin(win(0, 50), tbl, []int{0}, []int{0}))
+	if j.Pattern != core.Weakest {
+		t.Errorf("⋈NRR over window must stay WKS: %v", j.Pattern)
+	}
+	stream := mustAnnotate(t, NewNRRJoin(NewSource(0, window.Unbounded, linkSchema()), tbl, []int{0}, []int{0}))
+	if stream.Pattern != core.Monotonic {
+		t.Errorf("⋈NRR over stream must be monotonic: %v", stream.Pattern)
+	}
+}
+
+func TestAnnotateRelJoinStrict(t *testing.T) {
+	tbl := relation.NewRelation("t", tuple.MustSchema(tuple.Column{Name: "sym", Kind: tuple.KindInt}))
+	j := mustAnnotate(t, NewRelJoin(win(0, 50), tbl, []int{0}, []int{0}))
+	if j.Pattern != core.Strict {
+		t.Errorf("⋈R must be STR (Rule 5): %v", j.Pattern)
+	}
+}
+
+func TestAnnotateRelJoinRejectsStrictInput(t *testing.T) {
+	tbl := relation.NewRelation("t", tuple.MustSchema(tuple.Column{Name: "sym", Kind: tuple.KindInt}))
+	neg := NewNegate(win(0, 50), win(1, 50), []int{0}, []int{0})
+	if err := Annotate(NewRelJoin(neg, tbl, []int{0}, []int{0}), DefaultStats()); err == nil {
+		t.Error("⋈R over STR input must be rejected (Section 5.4.2)")
+	}
+	nrr := relation.NewNRR("t2", tuple.MustSchema(tuple.Column{Name: "sym", Kind: tuple.KindInt}))
+	neg2 := NewNegate(win(0, 50), win(1, 50), []int{0}, []int{0})
+	if err := Annotate(NewNRRJoin(neg2, nrr, []int{0}, []int{0}), DefaultStats()); err == nil {
+		t.Error("⋈NRR over STR input must be rejected (Section 5.4.2)")
+	}
+}
+
+func TestAnnotateTableKindMismatch(t *testing.T) {
+	nrr := relation.NewNRR("t", tuple.MustSchema(tuple.Column{Name: "sym", Kind: tuple.KindInt}))
+	rel := relation.NewRelation("r", tuple.MustSchema(tuple.Column{Name: "sym", Kind: tuple.KindInt}))
+	if err := Annotate(NewRelJoin(win(0, 50), nrr, []int{0}, []int{0}), DefaultStats()); err == nil {
+		t.Error("RelJoin over NRR accepted")
+	}
+	if err := Annotate(NewNRRJoin(win(0, 50), rel, []int{0}, []int{0}), DefaultStats()); err == nil {
+		t.Error("NRRJoin over relation accepted")
+	}
+}
+
+func TestAnnotateInfeasibleUnboundedState(t *testing.T) {
+	a := NewSource(0, window.Unbounded, linkSchema())
+	b := NewSource(1, window.Unbounded, linkSchema())
+	if err := Annotate(NewJoin(a, b, []int{0}, []int{0}), DefaultStats()); err == nil {
+		t.Error("join of unbounded streams must be rejected")
+	}
+}
+
+func TestAnnotateValidationErrors(t *testing.T) {
+	cases := map[string]*Node{
+		"select-nil-pred":   NewSelect(win(0, 10), nil),
+		"project-bad-col":   NewProject(win(0, 10), 99),
+		"union-mismatch":    NewUnion(win(0, 10), NewProject(win(1, 10), 0)),
+		"join-no-keys":      NewJoin(win(0, 10), win(1, 10), nil, nil),
+		"join-bad-left":     NewJoin(win(0, 10), win(1, 10), []int{9}, []int{0}),
+		"join-bad-right":    NewJoin(win(0, 10), win(1, 10), []int{0}, []int{9}),
+		"groupby-no-aggs":   NewGroupBy(win(0, 10), []int{0}),
+		"groupby-bad-group": NewGroupBy(win(0, 10), []int{9}, operator.AggSpec{Kind: operator.Count}),
+		"groupby-bad-agg":   NewGroupBy(win(0, 10), []int{0}, operator.AggSpec{Kind: operator.Sum, Col: 9}),
+		"intersect-layout":  NewIntersect(win(0, 10), NewProject(win(1, 10), 0)),
+		"source-no-schema":  NewSource(0, window.Spec{Type: window.TimeBased, Size: 5}, nil),
+		"window-invalid":    NewSource(0, window.Spec{Type: window.TimeBased, Size: -1}, linkSchema()),
+		"arity":             {Kind: Join, Inputs: []*Node{win(0, 10)}, LeftCols: []int{0}, RightCols: []int{0}},
+	}
+	for name, n := range cases {
+		if err := Annotate(n, DefaultStats()); err == nil {
+			t.Errorf("%s: invalid plan accepted", name)
+		}
+	}
+}
+
+func TestAnnotateHorizonPropagation(t *testing.T) {
+	j := mustAnnotate(t, NewJoin(win(0, 30), win(1, 80), []int{0}, []int{0}))
+	if j.Horizon != 80 {
+		t.Errorf("horizon = %d, want max window 80", j.Horizon)
+	}
+}
+
+func TestAnnotateEstimates(t *testing.T) {
+	stats := Stats{
+		Streams: map[int]StreamStats{
+			0: {Rate: 2, Distinct: map[int]float64{0: 50}},
+		},
+		DefaultRate:     1,
+		DefaultDistinct: 100,
+	}
+	src := NewSource(0, window.Spec{Type: window.TimeBased, Size: 100}, linkSchema())
+	if err := Annotate(src, stats); err != nil {
+		t.Fatal(err)
+	}
+	if src.Est.Rate != 2 || src.Est.Size != 200 || src.Est.Distinct != 50 {
+		t.Errorf("source estimates: %+v", src.Est)
+	}
+	sel := NewSelect(win(0, 100), operator.ColConst{Col: 1, Op: operator.EQ, Val: tuple.String_("ftp"), Sel: 0.25})
+	if err := Annotate(sel, stats); err != nil {
+		t.Fatal(err)
+	}
+	if sel.Est.Rate != 0.5 {
+		t.Errorf("selection rate: %v", sel.Est.Rate)
+	}
+}
+
+func TestNodeKindNames(t *testing.T) {
+	kinds := []NodeKind{Source, Select, Project, Union, Join, Intersect, Distinct, GroupBy, Negate, RelJoin, NRRJoin, NodeKind(99)}
+	for _, k := range kinds {
+		if k.String() == "" {
+			t.Errorf("empty name for %d", k)
+		}
+	}
+	if _, ok := Source.OpClass(); ok {
+		t.Error("Source has no op class")
+	}
+	if c, ok := Negate.OpClass(); !ok || c != core.OpNegate {
+		t.Error("Negate op class")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	j := mustAnnotate(t, NewJoin(win(0, 30), win(1, 80), []int{0}, []int{0}))
+	c := j.Clone()
+	c.Inputs[0].Window.Size = 999
+	if j.Inputs[0].Window.Size != 30 {
+		t.Error("Clone must deep-copy inputs")
+	}
+}

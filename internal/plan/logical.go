@@ -1,0 +1,235 @@
+// Package plan provides logical continuous-query plans, the update-pattern
+// annotation of Section 5.2, the per-unit-time cost model of Section 5.4.1,
+// the rewrite heuristics of Section 5.4.2, and physical planning — the
+// assignment of operator implementations and state structures to an
+// annotated plan under one of the three execution strategies of Section 6
+// (negative-tuple, direct, update-pattern-aware).
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/operator"
+	"repro/internal/relation"
+	"repro/internal/tuple"
+	"repro/internal/window"
+)
+
+// NodeKind identifies a logical plan node. Every operator class of
+// core.OpClass appears, plus Source for sliding-window leaves.
+type NodeKind int
+
+const (
+	// Source is a sliding window over a base stream (a plan leaf).
+	Source NodeKind = iota
+	// Select filters by a predicate.
+	Select
+	// Project keeps a subset of columns.
+	Project
+	// Union merges two layout-equal inputs.
+	Union
+	// Join is the sliding-window equijoin.
+	Join
+	// Intersect is multiset window intersection.
+	Intersect
+	// Distinct eliminates duplicates.
+	Distinct
+	// GroupBy aggregates per group.
+	GroupBy
+	// Negate is multiset difference on an attribute.
+	Negate
+	// RelJoin joins with a retroactive relation.
+	RelJoin
+	// NRRJoin joins with a non-retroactive relation.
+	NRRJoin
+)
+
+// String names the node kind.
+func (k NodeKind) String() string {
+	switch k {
+	case Source:
+		return "source"
+	case Select:
+		return "select"
+	case Project:
+		return "project"
+	case Union:
+		return "union"
+	case Join:
+		return "join"
+	case Intersect:
+		return "intersect"
+	case Distinct:
+		return "distinct"
+	case GroupBy:
+		return "groupby"
+	case Negate:
+		return "negate"
+	case RelJoin:
+		return "rel-join"
+	case NRRJoin:
+		return "nrr-join"
+	default:
+		return fmt.Sprintf("node(%d)", int(k))
+	}
+}
+
+// OpClass maps the node kind to its pattern-propagation class; Source has
+// none (its pattern comes from the window spec).
+func (k NodeKind) OpClass() (core.OpClass, bool) {
+	switch k {
+	case Select:
+		return core.OpSelect, true
+	case Project:
+		return core.OpProject, true
+	case Union:
+		return core.OpUnion, true
+	case Join:
+		return core.OpJoin, true
+	case Intersect:
+		return core.OpIntersect, true
+	case Distinct:
+		return core.OpDistinct, true
+	case GroupBy:
+		return core.OpGroupBy, true
+	case Negate:
+		return core.OpNegate, true
+	case RelJoin:
+		return core.OpRelJoin, true
+	case NRRJoin:
+		return core.OpNRRJoin, true
+	default:
+		return 0, false
+	}
+}
+
+// Node is a logical plan node. Build trees with the constructor functions;
+// Annotate then derives schemas, update patterns, and cost estimates.
+type Node struct {
+	Kind   NodeKind
+	Inputs []*Node
+
+	// Source fields.
+	StreamID int
+	Window   window.Spec
+	Source   *tuple.Schema // base stream schema
+
+	// Operator parameters (the relevant subset per kind).
+	Pred                operator.Predicate // Select
+	Cols                []int              // Project
+	LeftCols, RightCols []int              // Join / Negate / RelJoin / NRRJoin key columns
+	Residual            operator.Predicate // Join residual filter
+	GroupCols           []int              // GroupBy
+	Aggs                []operator.AggSpec // GroupBy
+	Table               *relation.Table    // RelJoin / NRRJoin
+
+	// Annotations, filled by Annotate.
+	Schema  *tuple.Schema
+	Pattern core.Pattern
+	// Horizon is the largest time distance between a result's creation and
+	// its expiration in this subtree (the max contributing window size);
+	// it sizes partitioned buffers. Zero means "results never expire".
+	Horizon int64
+	Est     Estimates
+}
+
+// NewSource builds a window leaf over base stream id with the given schema.
+func NewSource(id int, spec window.Spec, schema *tuple.Schema) *Node {
+	return &Node{Kind: Source, StreamID: id, Window: spec, Source: schema}
+}
+
+// NewSelect builds a selection.
+func NewSelect(in *Node, pred operator.Predicate) *Node {
+	return &Node{Kind: Select, Inputs: []*Node{in}, Pred: pred}
+}
+
+// NewProject builds a projection onto cols.
+func NewProject(in *Node, cols ...int) *Node {
+	return &Node{Kind: Project, Inputs: []*Node{in}, Cols: cols}
+}
+
+// NewUnion builds a merge union.
+func NewUnion(left, right *Node) *Node {
+	return &Node{Kind: Union, Inputs: []*Node{left, right}}
+}
+
+// NewJoin builds an equijoin on pairwise key columns.
+func NewJoin(left, right *Node, leftCols, rightCols []int) *Node {
+	return &Node{Kind: Join, Inputs: []*Node{left, right}, LeftCols: leftCols, RightCols: rightCols}
+}
+
+// NewIntersect builds a multiset intersection.
+func NewIntersect(left, right *Node) *Node {
+	return &Node{Kind: Intersect, Inputs: []*Node{left, right}}
+}
+
+// NewDistinct builds duplicate elimination over the full tuple.
+func NewDistinct(in *Node) *Node {
+	return &Node{Kind: Distinct, Inputs: []*Node{in}}
+}
+
+// NewGroupBy builds grouped aggregation.
+func NewGroupBy(in *Node, groupCols []int, aggs ...operator.AggSpec) *Node {
+	return &Node{Kind: GroupBy, Inputs: []*Node{in}, GroupCols: groupCols, Aggs: aggs}
+}
+
+// NewNegate builds multiset difference left − right on pairwise attribute
+// columns.
+func NewNegate(left, right *Node, leftCols, rightCols []int) *Node {
+	return &Node{Kind: Negate, Inputs: []*Node{left, right}, LeftCols: leftCols, RightCols: rightCols}
+}
+
+// NewRelJoin joins in with a retroactive relation on pairwise columns.
+func NewRelJoin(in *Node, table *relation.Table, streamCols, tableCols []int) *Node {
+	return &Node{Kind: RelJoin, Inputs: []*Node{in}, Table: table, LeftCols: streamCols, RightCols: tableCols}
+}
+
+// NewNRRJoin joins in with a non-retroactive relation on pairwise columns.
+func NewNRRJoin(in *Node, table *relation.Table, streamCols, tableCols []int) *Node {
+	return &Node{Kind: NRRJoin, Inputs: []*Node{in}, Table: table, LeftCols: streamCols, RightCols: tableCols}
+}
+
+// Clone deep-copies the plan tree (annotations included); the optimizer
+// rewrites clones so callers keep their original trees.
+func (n *Node) Clone() *Node {
+	c := *n
+	c.Inputs = make([]*Node, len(n.Inputs))
+	for i, in := range n.Inputs {
+		c.Inputs[i] = in.Clone()
+	}
+	return &c
+}
+
+// String renders the annotated plan as an indented tree, each edge labeled
+// with its update pattern as in Figure 6.
+func (n *Node) String() string {
+	var b strings.Builder
+	n.render(&b, 0)
+	return b.String()
+}
+
+func (n *Node) render(b *strings.Builder, depth int) {
+	b.WriteString(strings.Repeat("  ", depth))
+	switch n.Kind {
+	case Source:
+		fmt.Fprintf(b, "source(S%d, %s)", n.StreamID, n.Window)
+	case Select:
+		fmt.Fprintf(b, "select(%s)", n.Pred)
+	case Project:
+		fmt.Fprintf(b, "project%v", n.Cols)
+	case GroupBy:
+		fmt.Fprintf(b, "groupby%v %v", n.GroupCols, n.Aggs)
+	case Join, Negate:
+		fmt.Fprintf(b, "%s(%v=%v)", n.Kind, n.LeftCols, n.RightCols)
+	case RelJoin, NRRJoin:
+		fmt.Fprintf(b, "%s(%s, %v=%v)", n.Kind, n.Table.Name(), n.LeftCols, n.RightCols)
+	default:
+		b.WriteString(n.Kind.String())
+	}
+	fmt.Fprintf(b, " [%s]\n", n.Pattern)
+	for _, in := range n.Inputs {
+		in.render(b, depth+1)
+	}
+}

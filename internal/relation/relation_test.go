@@ -1,0 +1,158 @@
+package relation
+
+import (
+	"testing"
+
+	"repro/internal/tuple"
+)
+
+func symSchema() *tuple.Schema {
+	return tuple.MustSchema(
+		tuple.Column{Name: "symbol", Kind: tuple.KindString},
+		tuple.Column{Name: "company", Kind: tuple.KindString},
+	)
+}
+
+func row2(sym, co string) []tuple.Value {
+	return []tuple.Value{tuple.String_(sym), tuple.String_(co)}
+}
+
+func TestInsertDeleteAndLen(t *testing.T) {
+	r := NewNRR("symbols", symSchema())
+	if r.Retroactive() {
+		t.Error("NRR must be non-retroactive")
+	}
+	if err := r.Apply(Update{Kind: Insert, TS: 1, Row: row2("IBM", "IBM Corp")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Apply(Update{Kind: Insert, TS: 2, Row: row2("SUNW", "Sun Microsystems")}); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	if err := r.Apply(Update{Kind: Delete, TS: 3, Row: row2("IBM", "IBM Corp")}); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	if err := r.Apply(Update{Kind: Delete, TS: 4, Row: row2("IBM", "IBM Corp")}); err == nil {
+		t.Error("deleting absent row must fail")
+	}
+}
+
+func TestArityValidation(t *testing.T) {
+	r := NewRelation("r", symSchema())
+	if !r.Retroactive() {
+		t.Error("Relation must be retroactive")
+	}
+	if err := r.Apply(Update{Kind: Insert, TS: 1, Row: []tuple.Value{tuple.Int(1)}}); err == nil {
+		t.Error("wrong arity accepted")
+	}
+	if err := r.Apply(Update{Kind: UpdateKind(9), TS: 1, Row: row2("a", "b")}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestDuplicateRowsMultiset(t *testing.T) {
+	r := NewNRR("t", symSchema())
+	r.Apply(Update{Kind: Insert, TS: 1, Row: row2("A", "x")})
+	r.Apply(Update{Kind: Insert, TS: 2, Row: row2("A", "x")})
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	if err := r.Apply(Update{Kind: Delete, TS: 3, Row: row2("A", "x")}); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 1 {
+		t.Fatalf("Len after one delete = %d", r.Len())
+	}
+}
+
+func TestListeners(t *testing.T) {
+	r := NewNRR("t", symSchema())
+	var got []Update
+	r.Subscribe(func(u Update) { got = append(got, u) })
+	r.Apply(Update{Kind: Insert, TS: 1, Row: row2("A", "x")})
+	r.Apply(Update{Kind: Delete, TS: 2, Row: row2("A", "x")})
+	if len(got) != 2 || got[0].Kind != Insert || got[1].Kind != Delete {
+		t.Errorf("listener saw %v", got)
+	}
+	if got[0].Kind.String() != "insert" || got[1].Kind.String() != "delete" {
+		t.Errorf("kind names: %v %v", got[0].Kind, got[1].Kind)
+	}
+}
+
+func TestProbeWithAndWithoutIndex(t *testing.T) {
+	r := NewNRR("t", symSchema())
+	r.Apply(Update{Kind: Insert, TS: 1, Row: row2("A", "x")})
+	r.Apply(Update{Kind: Insert, TS: 2, Row: row2("A", "y")})
+	r.Apply(Update{Kind: Insert, TS: 3, Row: row2("B", "z")})
+
+	key := tuple.Tuple{Vals: row2("A", "?")}.Key([]int{0})
+	countHits := func() int {
+		n := 0
+		r.Probe([]int{0}, key, func([]tuple.Value) bool { n++; return true })
+		return n
+	}
+	if countHits() != 2 { // fallback scan path
+		t.Errorf("unindexed probe hits = %d", countHits())
+	}
+	r.EnsureIndex([]int{0})
+	if countHits() != 2 { // indexed path
+		t.Errorf("indexed probe hits = %d", countHits())
+	}
+	// Index stays consistent across updates.
+	r.Apply(Update{Kind: Insert, TS: 4, Row: row2("A", "w")})
+	r.Apply(Update{Kind: Delete, TS: 5, Row: row2("A", "x")})
+	if countHits() != 2 {
+		t.Errorf("post-update indexed probe hits = %d", countHits())
+	}
+	// EnsureIndex is idempotent.
+	r.EnsureIndex([]int{0})
+	if countHits() != 2 {
+		t.Errorf("re-index probe hits = %d", countHits())
+	}
+}
+
+func TestProbeEarlyStop(t *testing.T) {
+	r := NewNRR("t", symSchema())
+	r.EnsureIndex([]int{0})
+	r.Apply(Update{Kind: Insert, TS: 1, Row: row2("A", "x")})
+	r.Apply(Update{Kind: Insert, TS: 2, Row: row2("A", "y")})
+	key := tuple.Tuple{Vals: row2("A", "?")}.Key([]int{0})
+	n := 0
+	r.Probe([]int{0}, key, func([]tuple.Value) bool { n++; return false })
+	if n != 1 {
+		t.Errorf("early stop visited %d", n)
+	}
+}
+
+func TestScan(t *testing.T) {
+	r := NewRelation("t", symSchema())
+	r.Apply(Update{Kind: Insert, TS: 1, Row: row2("A", "x")})
+	r.Apply(Update{Kind: Insert, TS: 2, Row: row2("B", "y")})
+	seen := map[string]bool{}
+	r.Scan(func(vals []tuple.Value) bool { seen[vals[0].S] = true; return true })
+	if !seen["A"] || !seen["B"] {
+		t.Errorf("Scan saw %v", seen)
+	}
+	n := 0
+	r.Scan(func([]tuple.Value) bool { n++; return false })
+	if n != 1 {
+		t.Errorf("Scan early stop visited %d", n)
+	}
+}
+
+func TestRowIsolation(t *testing.T) {
+	r := NewNRR("t", symSchema())
+	vals := row2("A", "x")
+	r.Apply(Update{Kind: Insert, TS: 1, Row: vals})
+	vals[0] = tuple.String_("MUTATED")
+	found := false
+	r.Scan(func(got []tuple.Value) bool { found = got[0].S == "A"; return false })
+	if !found {
+		t.Error("table must copy inserted rows")
+	}
+}

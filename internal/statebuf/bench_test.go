@@ -1,0 +1,96 @@
+package statebuf
+
+// Ablation micro-benchmarks isolating the cost claims behind the buffer
+// choices of Section 5.3.2: steady-state insert+expire churn (the WK
+// maintenance loop) and key probing, per structure.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/tuple"
+)
+
+func churnBuffers(horizon int64) map[string]Buffer {
+	return map[string]Buffer{
+		"fifo":        NewFIFO(),
+		"list":        NewList(),
+		"partitioned": NewPartitioned(10, horizon, false),
+		"hash":        NewHash([]int{0}),
+		"indexedfifo": NewIndexedFIFO([]int{0}),
+	}
+}
+
+// BenchmarkBufferChurn measures a sliding-window steady state: one insert
+// plus one expiration round per time unit, with `live` tuples resident.
+// This is where the DIRECT list's sequential scans diverge from the
+// partitioned calendar.
+func BenchmarkBufferChurn(b *testing.B) {
+	for _, live := range []int64{1000, 10000} {
+		for name, buf := range churnBuffers(live) {
+			b.Run(fmt.Sprintf("%s/live%d", name, live), func(b *testing.B) {
+				// Pre-fill to steady state.
+				for ts := int64(0); ts < live; ts++ {
+					buf.Insert(mk(ts, ts+live, ts%97))
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					ts := live + int64(i)
+					buf.Insert(mk(ts, ts+live, ts%97))
+					buf.ExpireUpTo(ts)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkBufferProbe measures locating tuples by key among `live`
+// residents — the join probe path (hash-indexed vs scan).
+func BenchmarkBufferProbe(b *testing.B) {
+	const live = 10000
+	for name, buf := range churnBuffers(live) {
+		for ts := int64(0); ts < live; ts++ {
+			buf.Insert(mk(ts, ts+2*live, ts%97))
+		}
+		b.Run(name, func(b *testing.B) {
+			key := mk(0, 0, 13).Key([]int{0})
+			for i := 0; i < b.N; i++ {
+				hits := 0
+				if p, ok := buf.(Prober); ok {
+					p.Probe(key, func(tuple.Tuple) bool { hits++; return true })
+				} else {
+					buf.Scan(func(t tuple.Tuple) bool {
+						if t.Key([]int{0}) == key {
+							hits++
+						}
+						return true
+					})
+				}
+				if hits == 0 {
+					b.Fatal("no hits")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBufferRemove measures retraction by value — the negative-tuple
+// path (hash removal vs list scan vs partition scan).
+func BenchmarkBufferRemove(b *testing.B) {
+	const live = 10000
+	for name := range churnBuffers(live) {
+		b.Run(name, func(b *testing.B) {
+			buf := churnBuffers(live)[name]
+			for ts := int64(0); ts < live; ts++ {
+				buf.Insert(mk(ts, ts+2*live, ts%97))
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				v := int64(i) % 97
+				t := mk(0, int64(i%int(live))+2*live, v)
+				buf.Remove(mk(int64(i), 0, v))
+				buf.Insert(t) // keep the population stable
+			}
+		})
+	}
+}

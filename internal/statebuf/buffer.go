@@ -1,0 +1,81 @@
+// Package statebuf provides the update-pattern-aware state buffers of
+// Section 5.3.2 of Golab & Özsu (SIGMOD 2005), plus the baseline structures
+// used by the negative-tuple (NT) and direct (DIRECT) execution strategies:
+//
+//   - FIFOBuffer: for weakest non-monotonic (WKS) state, where expiration
+//     order equals insertion order — O(1) insert at the tail, O(1) expire
+//     from the head.
+//   - ListBuffer: the DIRECT baseline — an insertion-ordered linked list;
+//     out-of-FIFO expiration and negative-tuple removal need sequential
+//     scans. This is the inefficiency UPA removes.
+//   - PartitionedBuffer: for weak non-monotonic (WK) state — a circular
+//     array of partitions bucketed by expiration time (calendar-queue-like),
+//     so expiration touches only due partitions while insertion stays O(1)
+//     (lazy) or O(log partition) (eager, partitions sorted by expiration).
+//   - HashBuffer: for the NT strategy and for strict non-monotonic (STR)
+//     state with frequent premature expirations — a hash table on a key so
+//     negative tuples delete in O(1) expected time.
+//
+// All buffers account the number of tuples they touch per operation, which
+// the experiment harness reports alongside wall-clock time.
+package statebuf
+
+import (
+	"sort"
+
+	"repro/internal/tuple"
+)
+
+// Buffer is the common contract of all state buffers. A buffer stores
+// positive tuples carrying expiration timestamps and supports the three
+// events of continuous query processing: insertion of new tuples, expiration
+// of old tuples by timestamp, and explicit removal driven by negative tuples.
+type Buffer interface {
+	// Insert stores t. The tuple's Exp field governs when it expires.
+	Insert(t tuple.Tuple)
+
+	// ExpireUpTo removes every stored tuple with Exp <= now and returns
+	// them, ordered by (Exp, TS). Operators that must react to expirations
+	// (duplicate elimination, group-by, negation) consume the return value;
+	// lazily-maintained operators may ignore it.
+	ExpireUpTo(now int64) []tuple.Tuple
+
+	// Remove deletes one stored tuple whose values equal t's (the matching
+	// rule for negative tuples) and reports whether one was found.
+	Remove(t tuple.Tuple) bool
+
+	// Scan visits every stored tuple (including ones that are expired but
+	// not yet physically removed, for lazily-maintained buffers) until fn
+	// returns false. Callers that probe lazily-maintained state must skip
+	// expired tuples themselves, per Section 2.1 of the paper.
+	Scan(fn func(t tuple.Tuple) bool)
+
+	// Len returns the number of stored tuples (live or lazily retained).
+	Len() int
+
+	// Touched returns the cumulative number of tuple visits performed by
+	// this buffer across all operations — the cost-accounting signal that
+	// distinguishes the strategies in the experiments.
+	Touched() int64
+}
+
+// Prober is implemented by buffers that can locate tuples by key faster than
+// a full scan. Join operators type-assert their state buffers to Prober and
+// fall back to Scan otherwise.
+type Prober interface {
+	// Probe visits stored tuples whose key (over the buffer's configured
+	// key columns) equals k, until fn returns false.
+	Probe(k tuple.Key, fn func(t tuple.Tuple) bool)
+}
+
+// sortExpired orders expired tuples deterministically by (Exp, TS, value
+// rendering) so replacement emissions are reproducible across buffer kinds.
+func sortExpired(ts []tuple.Tuple) []tuple.Tuple {
+	sort.SliceStable(ts, func(i, j int) bool {
+		if ts[i].Exp != ts[j].Exp {
+			return ts[i].Exp < ts[j].Exp
+		}
+		return ts[i].TS < ts[j].TS
+	})
+	return ts
+}

@@ -1,0 +1,80 @@
+package statebuf
+
+import "fmt"
+
+// Kind identifies a buffer implementation.
+type Kind int
+
+const (
+	// KindFIFO is the WKS structure: a deque ordered by expiration.
+	KindFIFO Kind = iota
+	// KindList is the DIRECT baseline: insertion-ordered linked list.
+	KindList
+	// KindPartitioned is the WK structure: calendar of expiration buckets.
+	KindPartitioned
+	// KindHash is the NT/STR structure: hash table on key columns.
+	KindHash
+	// KindIndexedFIFO is the UPA structure for probed WKS state: FIFO
+	// expiration queue plus a hash index on key columns.
+	KindIndexedFIFO
+)
+
+// String names the kind as used in experiment reports.
+func (k Kind) String() string {
+	switch k {
+	case KindFIFO:
+		return "fifo"
+	case KindList:
+		return "list"
+	case KindPartitioned:
+		return "partitioned"
+	case KindHash:
+		return "hash"
+	case KindIndexedFIFO:
+		return "indexed-fifo"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Config carries the construction parameters a physical plan assigns to each
+// state buffer.
+type Config struct {
+	Kind Kind
+	// KeyCols are the key columns for KindHash.
+	KeyCols []int
+	// Partitions is the partition count for KindPartitioned (default 10,
+	// matching Section 6.1's default).
+	Partitions int
+	// Horizon is the rolling expiration horizon for KindPartitioned,
+	// normally the window size bounding the state.
+	Horizon int64
+	// SortedByExp selects the eager (sorted-by-expiration) partition
+	// variant for KindPartitioned.
+	SortedByExp bool
+}
+
+// DefaultPartitions matches the experimental default of Section 6.1.
+const DefaultPartitions = 10
+
+// New builds a buffer from cfg.
+func New(cfg Config) Buffer {
+	switch cfg.Kind {
+	case KindFIFO:
+		return NewFIFO()
+	case KindList:
+		return NewList()
+	case KindPartitioned:
+		n := cfg.Partitions
+		if n <= 0 {
+			n = DefaultPartitions
+		}
+		return NewPartitioned(n, cfg.Horizon, cfg.SortedByExp)
+	case KindHash:
+		return NewHash(cfg.KeyCols)
+	case KindIndexedFIFO:
+		return NewIndexedFIFO(cfg.KeyCols)
+	default:
+		panic(fmt.Sprintf("statebuf: unknown kind %v", cfg.Kind))
+	}
+}

@@ -1,0 +1,131 @@
+package statebuf
+
+import "repro/internal/tuple"
+
+// FIFOBuffer stores state whose expiration order equals its insertion order —
+// the weakest non-monotonic (WKS) case of Section 3.1. It is a slice-backed
+// deque: insertions append at the tail, expirations pop from the head, both
+// amortized O(1).
+//
+// The buffer tolerates inputs whose Exp sequence is not perfectly
+// non-decreasing (e.g. merged streams of slightly different window sizes) by
+// falling back to a head-scan bounded by the first live tuple; for true WKS
+// inputs that scan stops immediately.
+type FIFOBuffer struct {
+	items   []tuple.Tuple
+	head    int
+	touched int64
+	lastExp int64
+	// unsorted is set when an insertion breaks the non-decreasing Exp
+	// invariant; expiration then degrades to a full scan so the Buffer
+	// contract still holds.
+	unsorted bool
+}
+
+// NewFIFO returns an empty FIFO buffer.
+func NewFIFO() *FIFOBuffer { return &FIFOBuffer{} }
+
+// Insert appends t at the tail.
+func (b *FIFOBuffer) Insert(t tuple.Tuple) {
+	b.touched++
+	if t.Exp < b.lastExp {
+		b.unsorted = true
+	} else {
+		b.lastExp = t.Exp
+	}
+	b.items = append(b.items, t)
+}
+
+// ExpireUpTo pops tuples with Exp <= now from the head. If the FIFO
+// invariant was ever violated it scans the whole buffer instead.
+func (b *FIFOBuffer) ExpireUpTo(now int64) []tuple.Tuple {
+	var out []tuple.Tuple
+	if b.unsorted {
+		kept := b.items[:b.head]
+		for i := b.head; i < len(b.items); i++ {
+			b.touched++
+			if b.items[i].Exp <= now {
+				out = append(out, b.items[i])
+			} else {
+				kept = append(kept, b.items[i])
+			}
+		}
+		for i := len(kept); i < len(b.items); i++ {
+			b.items[i] = tuple.Tuple{}
+		}
+		b.items = kept
+		b.compact()
+		return sortExpired(out)
+	}
+	for b.head < len(b.items) {
+		b.touched++
+		if b.items[b.head].Exp > now {
+			break
+		}
+		out = append(out, b.items[b.head])
+		b.items[b.head] = tuple.Tuple{} // release
+		b.head++
+	}
+	b.compact()
+	return sortExpired(out)
+}
+
+// Remove deletes one tuple with values equal to t's by scanning from the
+// head, preferring an exact expiration match (negative tuples carry the
+// original tuple's Exp, which disambiguates value twins).
+func (b *FIFOBuffer) Remove(t tuple.Tuple) bool {
+	at := -1
+	for i := b.head; i < len(b.items); i++ {
+		b.touched++
+		if !b.items[i].SameVals(t) {
+			continue
+		}
+		if at < 0 {
+			at = i
+		}
+		if b.items[i].Exp == t.Exp {
+			at = i
+			break
+		}
+	}
+	if at < 0 {
+		return false
+	}
+	copy(b.items[at:], b.items[at+1:])
+	b.items[len(b.items)-1] = tuple.Tuple{}
+	b.items = b.items[:len(b.items)-1]
+	return true
+}
+
+// Scan visits stored tuples in insertion order.
+func (b *FIFOBuffer) Scan(fn func(t tuple.Tuple) bool) {
+	for i := b.head; i < len(b.items); i++ {
+		b.touched++
+		if !fn(b.items[i]) {
+			return
+		}
+	}
+}
+
+// Len returns the number of stored tuples.
+func (b *FIFOBuffer) Len() int { return len(b.items) - b.head }
+
+// Touched returns cumulative tuple visits.
+func (b *FIFOBuffer) Touched() int64 { return b.touched }
+
+// compact reclaims the consumed prefix once it dominates the backing array.
+func (b *FIFOBuffer) compact() {
+	if b.head == len(b.items) {
+		b.items = b.items[:0]
+		b.head = 0
+		return
+	}
+	if b.head > 64 && b.head > len(b.items)/2 {
+		n := copy(b.items, b.items[b.head:])
+		for i := n; i < len(b.items); i++ {
+			b.items[i] = tuple.Tuple{}
+		}
+		b.items = b.items[:n]
+		b.head = 0
+	}
+}

@@ -1,0 +1,147 @@
+package statebuf
+
+import "repro/internal/tuple"
+
+// HashBuffer keys stored tuples by a configured column set. It backs the
+// negative-tuple strategy (Section 2.3.1: "the negative tuple approach can be
+// implemented efficiently if the operator state is sorted by key so that
+// expired tuples can be looked up quickly") and the UPA choice for strict
+// non-monotonic state with frequent premature expirations (Section 5.3.2).
+//
+// Probing by key and removal driven by negative tuples are O(1) expected;
+// timestamp-driven expiration requires a full scan, which is why the NT
+// strategy never relies on it (windows retract tuples explicitly instead).
+type HashBuffer struct {
+	keyCols []int
+	buckets map[tuple.Key][]tuple.Tuple
+	size    int
+	touched int64
+}
+
+// NewHash returns a hash buffer keyed on the given column positions.
+func NewHash(keyCols []int) *HashBuffer {
+	return &HashBuffer{
+		keyCols: append([]int(nil), keyCols...),
+		buckets: make(map[tuple.Key][]tuple.Tuple),
+	}
+}
+
+// KeyCols returns the key column positions.
+func (b *HashBuffer) KeyCols() []int { return b.keyCols }
+
+// Insert stores t under its key.
+func (b *HashBuffer) Insert(t tuple.Tuple) {
+	b.touched++
+	k := t.Key(b.keyCols)
+	b.buckets[k] = append(b.buckets[k], t)
+	b.size++
+}
+
+// ExpireUpTo scans all buckets for tuples with Exp <= now.
+func (b *HashBuffer) ExpireUpTo(now int64) []tuple.Tuple {
+	var out []tuple.Tuple
+	for k, bucket := range b.buckets {
+		kept := bucket[:0]
+		for _, t := range bucket {
+			b.touched++
+			if t.Exp <= now {
+				out = append(out, t)
+			} else {
+				kept = append(kept, t)
+			}
+		}
+		if len(kept) == 0 {
+			delete(b.buckets, k)
+		} else {
+			b.buckets[k] = kept
+		}
+	}
+	b.size -= len(out)
+	return sortExpired(out)
+}
+
+// Remove deletes one tuple with values equal to t's from its bucket,
+// preferring an exact expiration match (negative tuples carry the original
+// tuple's Exp, which disambiguates value twins), then the oldest match so
+// retraction order is deterministic.
+func (b *HashBuffer) Remove(t tuple.Tuple) bool {
+	k := t.Key(b.keyCols)
+	bucket, ok := b.buckets[k]
+	if !ok {
+		return false
+	}
+	best := -1
+	for i := range bucket {
+		b.touched++
+		if !bucket[i].SameVals(t) {
+			continue
+		}
+		if bucket[i].Exp == t.Exp {
+			best = i
+			break
+		}
+		if best < 0 || bucket[i].TS < bucket[best].TS {
+			best = i
+		}
+	}
+	if best < 0 {
+		return false
+	}
+	bucket = append(bucket[:best], bucket[best+1:]...)
+	if len(bucket) == 0 {
+		delete(b.buckets, k)
+	} else {
+		b.buckets[k] = bucket
+	}
+	b.size--
+	return true
+}
+
+// removeExact deletes one tuple matching t's values AND expiration; it
+// reports false when no exact twin is stored (e.g. it was retracted earlier).
+func (b *HashBuffer) removeExact(t tuple.Tuple) bool {
+	k := t.Key(b.keyCols)
+	bucket := b.buckets[k]
+	for i := range bucket {
+		b.touched++
+		if bucket[i].Exp == t.Exp && bucket[i].SameVals(t) {
+			bucket = append(bucket[:i], bucket[i+1:]...)
+			if len(bucket) == 0 {
+				delete(b.buckets, k)
+			} else {
+				b.buckets[k] = bucket
+			}
+			b.size--
+			return true
+		}
+	}
+	return false
+}
+
+// Probe visits tuples stored under key k.
+func (b *HashBuffer) Probe(k tuple.Key, fn func(t tuple.Tuple) bool) {
+	for _, t := range b.buckets[k] {
+		b.touched++
+		if !fn(t) {
+			return
+		}
+	}
+}
+
+// Scan visits every stored tuple (bucket order is unspecified).
+func (b *HashBuffer) Scan(fn func(t tuple.Tuple) bool) {
+	for _, bucket := range b.buckets {
+		for _, t := range bucket {
+			b.touched++
+			if !fn(t) {
+				return
+			}
+		}
+	}
+}
+
+// Len returns the number of stored tuples.
+func (b *HashBuffer) Len() int { return b.size }
+
+// Touched returns cumulative tuple visits.
+func (b *HashBuffer) Touched() int64 { return b.touched }

@@ -1,0 +1,109 @@
+package statebuf
+
+import "repro/internal/tuple"
+
+// IndexedFIFO combines the WKS insight — expiration order equals insertion
+// order, so expirations pop from a queue in O(1) — with a hash index on key
+// columns so equijoin probes are O(1) as well. It is the structure the UPA
+// strategy assigns to stateful operators' weakest non-monotonic inputs:
+// strictly cheaper than both the DIRECT list (O(N) probe and scan-expiry)
+// and the NT hash (O(1) probe but retirement only via doubled tuple
+// traffic).
+//
+// Retractions may remove tuples out of FIFO order; the queue keeps a stale
+// entry that is skipped when it surfaces, so Remove stays O(bucket).
+type IndexedFIFO struct {
+	hash    *HashBuffer
+	queue   []tuple.Tuple // arrival order; may contain already-removed entries
+	head    int
+	lastExp int64
+	// unsorted is set when insertions break the non-decreasing Exp
+	// invariant (e.g. a union of windows with different sizes); expiration
+	// then falls back to scanning the index so the Buffer contract holds.
+	unsorted bool
+}
+
+// NewIndexedFIFO builds an indexed FIFO keyed on the given columns.
+func NewIndexedFIFO(keyCols []int) *IndexedFIFO {
+	return &IndexedFIFO{hash: NewHash(keyCols)}
+}
+
+// Insert stores t.
+func (b *IndexedFIFO) Insert(t tuple.Tuple) {
+	if t.Exp < b.lastExp {
+		b.unsorted = true
+	} else {
+		b.lastExp = t.Exp
+	}
+	b.hash.Insert(t)
+	b.queue = append(b.queue, t)
+}
+
+// ExpireUpTo pops due tuples from the queue head, removing each from the
+// index; stale queue entries (already retracted) are skipped. If the FIFO
+// invariant was ever violated it scans the index instead.
+func (b *IndexedFIFO) ExpireUpTo(now int64) []tuple.Tuple {
+	if b.unsorted {
+		out := b.hash.ExpireUpTo(now)
+		// Queue entries for the expired tuples are now stale; prune once
+		// staleness dominates so the queue cannot grow without bound.
+		if len(b.queue)-b.head > 2*b.hash.Len()+64 {
+			b.queue = append(b.queue[:0:0], b.queue[b.head:]...)
+			b.head = 0
+			kept := b.queue[:0]
+			for _, t := range b.queue {
+				if t.Exp > now {
+					kept = append(kept, t)
+				}
+			}
+			b.queue = kept
+		}
+		return out
+	}
+	var out []tuple.Tuple
+	for b.head < len(b.queue) {
+		t := b.queue[b.head]
+		if t.Exp > now {
+			break
+		}
+		b.queue[b.head] = tuple.Tuple{}
+		b.head++
+		if b.hash.removeExact(t) {
+			out = append(out, t)
+		}
+	}
+	b.compact()
+	return sortExpired(out)
+}
+
+// Remove deletes one matching tuple from the index; its queue entry goes
+// stale and is skipped later.
+func (b *IndexedFIFO) Remove(t tuple.Tuple) bool { return b.hash.Remove(t) }
+
+// Probe visits stored tuples under key k.
+func (b *IndexedFIFO) Probe(k tuple.Key, fn func(t tuple.Tuple) bool) { b.hash.Probe(k, fn) }
+
+// Scan visits every stored tuple.
+func (b *IndexedFIFO) Scan(fn func(t tuple.Tuple) bool) { b.hash.Scan(fn) }
+
+// Len returns the number of stored tuples.
+func (b *IndexedFIFO) Len() int { return b.hash.Len() }
+
+// Touched returns cumulative tuple visits.
+func (b *IndexedFIFO) Touched() int64 { return b.hash.Touched() }
+
+func (b *IndexedFIFO) compact() {
+	if b.head == len(b.queue) {
+		b.queue = b.queue[:0]
+		b.head = 0
+		return
+	}
+	if b.head > 64 && b.head > len(b.queue)/2 {
+		n := copy(b.queue, b.queue[b.head:])
+		for i := n; i < len(b.queue); i++ {
+			b.queue[i] = tuple.Tuple{}
+		}
+		b.queue = b.queue[:n]
+		b.head = 0
+	}
+}

@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/tuple"
+)
+
+// csvHeader is the column layout of trace files: the link index followed by
+// the record schema.
+var csvHeader = []string{"link", "ts", "duration", "protocol", "payload", "src", "dst"}
+
+// WriteCSV writes records as CSV with a header row.
+func WriteCSV(w io.Writer, recs []Record) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	for _, r := range recs {
+		row := []string{
+			strconv.Itoa(r.Link),
+			strconv.FormatInt(r.TS, 10),
+			strconv.FormatFloat(r.Vals[ColDuration].F, 'g', -1, 64),
+			r.Vals[ColProtocol].S,
+			strconv.FormatInt(r.Vals[ColPayload].I, 10),
+			strconv.FormatInt(r.Vals[ColSrc].I, 10),
+			strconv.FormatInt(r.Vals[ColDst].I, 10),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a trace file written by WriteCSV (or hand-converted from a
+// real archive trace into the same layout). Records must be ordered by
+// non-decreasing timestamp.
+func ReadCSV(r io.Reader) ([]Record, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: read header: %w", err)
+	}
+	if len(header) != len(csvHeader) {
+		return nil, fmt.Errorf("trace: header has %d columns, want %d", len(header), len(csvHeader))
+	}
+	var out []Record
+	lastTS := int64(-1 << 62)
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		rec, err := parseRow(row)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		if rec.TS < lastTS {
+			return nil, fmt.Errorf("trace: line %d: timestamp %d regresses before %d", line, rec.TS, lastTS)
+		}
+		lastTS = rec.TS
+		out = append(out, rec)
+	}
+}
+
+func parseRow(row []string) (Record, error) {
+	link, err := strconv.Atoi(row[0])
+	if err != nil {
+		return Record{}, fmt.Errorf("link: %w", err)
+	}
+	ts, err := strconv.ParseInt(row[1], 10, 64)
+	if err != nil {
+		return Record{}, fmt.Errorf("ts: %w", err)
+	}
+	dur, err := strconv.ParseFloat(row[2], 64)
+	if err != nil {
+		return Record{}, fmt.Errorf("duration: %w", err)
+	}
+	payload, err := strconv.ParseInt(row[4], 10, 64)
+	if err != nil {
+		return Record{}, fmt.Errorf("payload: %w", err)
+	}
+	src, err := strconv.ParseInt(row[5], 10, 64)
+	if err != nil {
+		return Record{}, fmt.Errorf("src: %w", err)
+	}
+	dst, err := strconv.ParseInt(row[6], 10, 64)
+	if err != nil {
+		return Record{}, fmt.Errorf("dst: %w", err)
+	}
+	rec := Record{
+		Link: link,
+		TS:   ts,
+		Vals: []tuple.Value{
+			tuple.Int(ts), tuple.Float(dur), tuple.String_(row[3]),
+			tuple.Int(payload), tuple.Int(src), tuple.Int(dst),
+		},
+	}
+	return rec, rec.Validate()
+}

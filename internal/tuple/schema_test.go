@@ -1,0 +1,124 @@
+package tuple
+
+import (
+	"strings"
+	"testing"
+)
+
+func ipSchema() *Schema {
+	return MustSchema(
+		Column{"ts", KindInt},
+		Column{"duration", KindFloat},
+		Column{"protocol", KindString},
+		Column{"payload", KindInt},
+		Column{"src", KindInt},
+		Column{"dst", KindInt},
+	)
+}
+
+func TestNewSchemaValidation(t *testing.T) {
+	if _, err := NewSchema(Column{"a", KindInt}, Column{"a", KindInt}); err == nil {
+		t.Error("duplicate column should fail")
+	}
+	if _, err := NewSchema(Column{"", KindInt}); err == nil {
+		t.Error("empty name should fail")
+	}
+	s, err := NewSchema(Column{"a", KindInt}, Column{"b", KindString})
+	if err != nil || s.Len() != 2 {
+		t.Fatalf("NewSchema: %v %v", s, err)
+	}
+}
+
+func TestMustSchemaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustSchema should panic on duplicate names")
+		}
+	}()
+	MustSchema(Column{"a", KindInt}, Column{"a", KindInt})
+}
+
+func TestSchemaIndex(t *testing.T) {
+	s := ipSchema()
+	if s.Index("src") != 4 || s.Index("nope") != -1 {
+		t.Errorf("Index wrong: src=%d nope=%d", s.Index("src"), s.Index("nope"))
+	}
+	if s.MustIndex("dst") != 5 {
+		t.Errorf("MustIndex(dst) = %d", s.MustIndex("dst"))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustIndex should panic on missing column")
+		}
+	}()
+	s.MustIndex("ghost")
+}
+
+func TestSchemaProject(t *testing.T) {
+	s := ipSchema()
+	p, err := s.Project([]int{4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 2 || p.Col(0).Name != "src" || p.Col(1).Name != "dst" {
+		t.Errorf("Project = %v", p)
+	}
+	if _, err := s.Project([]int{99}); err == nil {
+		t.Error("out-of-range projection should fail")
+	}
+}
+
+func TestSchemaConcatRenamesCollisions(t *testing.T) {
+	a := MustSchema(Column{"x", KindInt}, Column{"y", KindInt})
+	b := MustSchema(Column{"x", KindInt}, Column{"z", KindInt})
+	c := a.Concat(b)
+	if c.Len() != 4 {
+		t.Fatalf("Concat len = %d", c.Len())
+	}
+	names := []string{c.Col(0).Name, c.Col(1).Name, c.Col(2).Name, c.Col(3).Name}
+	want := []string{"x", "y", "r_x", "z"}
+	for i := range names {
+		if names[i] != want[i] {
+			t.Errorf("Concat names = %v, want %v", names, want)
+			break
+		}
+	}
+	// A second collision layer must also resolve.
+	d := MustSchema(Column{"x", KindInt}, Column{"r_x", KindInt})
+	e := d.Concat(MustSchema(Column{"x", KindInt}))
+	if e.Col(2).Name == "x" || e.Col(2).Name == "r_x" {
+		t.Errorf("double collision not resolved: %v", e)
+	}
+}
+
+func TestSchemaEqualLayout(t *testing.T) {
+	a := MustSchema(Column{"a", KindInt}, Column{"b", KindString})
+	b := MustSchema(Column{"c", KindInt}, Column{"d", KindString})
+	c := MustSchema(Column{"c", KindString}, Column{"d", KindInt})
+	if !a.EqualLayout(b) {
+		t.Error("same kinds, different names should be layout-equal")
+	}
+	if a.EqualLayout(c) {
+		t.Error("different kinds should not be layout-equal")
+	}
+	if a.EqualLayout(MustSchema(Column{"a", KindInt})) {
+		t.Error("different lengths should not be layout-equal")
+	}
+}
+
+func TestSchemaString(t *testing.T) {
+	s := MustSchema(Column{"a", KindInt}, Column{"b", KindString})
+	str := s.String()
+	if !strings.Contains(str, "a int") || !strings.Contains(str, "b string") {
+		t.Errorf("String() = %q", str)
+	}
+}
+
+func TestSchemaColumnsCopy(t *testing.T) {
+	s := ipSchema()
+	cols := s.Columns()
+	cols[0].Name = "mutated"
+	if s.Col(0).Name != "ts" {
+		t.Error("Columns() must return a copy")
+	}
+}

@@ -1,0 +1,190 @@
+package tuple
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// NeverExpires is the Exp value of tuples that are never retired by window
+// movement (tuples on unbounded streams, relation rows). Such tuples can
+// still be retracted by negative tuples.
+const NeverExpires int64 = math.MaxInt64
+
+// Tuple is one relational record flowing through a query plan.
+//
+// TS is the generation timestamp: assignment time for base-stream arrivals,
+// production time for derived results. Exp is the expiration timestamp
+// derived per Section 2.2 of the paper: a window stamps Exp = TS + T, and a
+// composite result's Exp is the minimum Exp of its constituents. Neg marks a
+// negative tuple — an explicit retraction of a previously emitted tuple with
+// the same Vals (Section 2.3.1).
+type Tuple struct {
+	TS   int64
+	Exp  int64
+	Neg  bool
+	Vals []Value
+}
+
+// New builds a positive tuple with the given timestamp that never expires.
+func New(ts int64, vals ...Value) Tuple {
+	return Tuple{TS: ts, Exp: NeverExpires, Vals: vals}
+}
+
+// Negative returns a negative (retraction) twin of t: same values, same
+// expiration, generation time set to when the retraction was issued.
+func (t Tuple) Negative(ts int64) Tuple {
+	return Tuple{TS: ts, Exp: t.Exp, Neg: true, Vals: t.Vals}
+}
+
+// WithExp returns a copy of t whose expiration is capped at exp.
+func (t Tuple) WithExp(exp int64) Tuple {
+	if exp < t.Exp {
+		t.Exp = exp
+	}
+	return t
+}
+
+// Expired reports whether the tuple has fallen out of its window at time now.
+// A tuple stamped Exp = TS + T is live for now < Exp and expired at now ≥ Exp,
+// matching a time-based window that retains items from the last T time units.
+func (t Tuple) Expired(now int64) bool { return now >= t.Exp }
+
+// SameVals reports whether two tuples carry equal value lists. This is the
+// matching rule for negative tuples.
+func (t Tuple) SameVals(o Tuple) bool {
+	if len(t.Vals) != len(o.Vals) {
+		return false
+	}
+	for i := range t.Vals {
+		if !t.Vals[i].Equal(o.Vals[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Key extracts the values at the given column positions as a comparable
+// composite key. Up to three columns are packed without allocation into the
+// fixed fields; wider keys fall back to a joined string rendering. Values are
+// canonicalized first so that Go == on Key agrees with Value.Equal: integral
+// floats pack as ints, and NaN packs as a sentinel string (Go's float ==
+// would otherwise make NaN keys unequal to themselves).
+func (t Tuple) Key(cols []int) Key {
+	var k Key
+	k.n = len(cols)
+	switch {
+	case len(cols) >= 1 && len(cols) <= 3:
+		for i, c := range cols {
+			k.v[i] = canonical(t.Vals[c])
+		}
+	case len(cols) > 3:
+		var b strings.Builder
+		for i, c := range cols {
+			if i > 0 {
+				b.WriteByte('\x1f')
+			}
+			v := canonical(t.Vals[c])
+			b.WriteString(v.String())
+			fmt.Fprintf(&b, "/%d", v.Kind)
+		}
+		k.wide = b.String()
+	}
+	return k
+}
+
+// canonical maps Equal values onto ==-equal representations.
+func canonical(v Value) Value {
+	if v.Kind != KindFloat {
+		return v
+	}
+	f := v.F
+	if math.IsNaN(f) {
+		return Value{Kind: KindString, S: "\x00NaN"}
+	}
+	if f == math.Trunc(f) && !math.IsInf(f, 0) && f >= math.MinInt64 && f <= math.MaxInt64 {
+		return Int(int64(f))
+	}
+	return v
+}
+
+// Key is a comparable composite of up to three values (or a string-packed
+// rendering for wider keys), usable as a Go map key.
+type Key struct {
+	n    int
+	v    [3]Value
+	wide string
+}
+
+// String renders the key for debugging.
+func (k Key) String() string {
+	if k.n > 3 {
+		return k.wide
+	}
+	parts := make([]string, k.n)
+	for i := 0; i < k.n; i++ {
+		parts[i] = k.v[i].String()
+	}
+	return "[" + strings.Join(parts, ",") + "]"
+}
+
+// Hash64 hashes the key consistently with Value.Hash64.
+func (k Key) Hash64() uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	if k.n > 3 {
+		for i := 0; i < len(k.wide); i++ {
+			h ^= uint64(k.wide[i])
+			h *= prime
+		}
+		return h
+	}
+	for i := 0; i < k.n; i++ {
+		h ^= k.v[i].Hash64()
+		h *= prime
+	}
+	return h
+}
+
+// Clone deep-copies the tuple's value slice so later mutation of the source
+// cannot alias stored state.
+func (t Tuple) Clone() Tuple {
+	t.Vals = append([]Value(nil), t.Vals...)
+	return t
+}
+
+// String renders the tuple for debugging: sign, values, and timestamps.
+func (t Tuple) String() string {
+	var b strings.Builder
+	if t.Neg {
+		b.WriteByte('-')
+	} else {
+		b.WriteByte('+')
+	}
+	b.WriteByte('(')
+	for i, v := range t.Vals {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(v.String())
+	}
+	b.WriteByte(')')
+	fmt.Fprintf(&b, "@%d", t.TS)
+	if t.Exp != NeverExpires {
+		fmt.Fprintf(&b, "..%d", t.Exp)
+	}
+	return b.String()
+}
+
+// Concat returns a new positive tuple whose values are t's followed by o's,
+// with TS set to ts and Exp = min(t.Exp, o.Exp) per Section 2.2.
+func (t Tuple) Concat(o Tuple, ts int64) Tuple {
+	vals := make([]Value, 0, len(t.Vals)+len(o.Vals))
+	vals = append(vals, t.Vals...)
+	vals = append(vals, o.Vals...)
+	exp := t.Exp
+	if o.Exp < exp {
+		exp = o.Exp
+	}
+	return Tuple{TS: ts, Exp: exp, Vals: vals}
+}

@@ -1,0 +1,195 @@
+package tuple
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindNull:   "null",
+		KindInt:    "int",
+		KindFloat:  "float",
+		KindString: "string",
+		Kind(9):    "kind(9)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	if v := Int(42); v.Kind != KindInt || v.AsInt() != 42 || v.AsFloat() != 42 {
+		t.Errorf("Int(42) = %+v", v)
+	}
+	if v := Float(2.5); v.Kind != KindFloat || v.AsFloat() != 2.5 || v.AsInt() != 2 {
+		t.Errorf("Float(2.5) = %+v", v)
+	}
+	if v := String_("x"); v.Kind != KindString || v.S != "x" {
+		t.Errorf("String_ = %+v", v)
+	}
+	if v := String_("x"); v.AsInt() != 0 || v.AsFloat() != 0 {
+		t.Errorf("string numeric accessors should be 0")
+	}
+	if !Null.IsNull() || Int(0).IsNull() {
+		t.Errorf("IsNull misbehaves")
+	}
+	if Bool(true) != Int(1) || Bool(false) != Int(0) {
+		t.Errorf("Bool encoding wrong")
+	}
+}
+
+func TestValueCompareTotalOrder(t *testing.T) {
+	ordered := []Value{
+		Null,
+		Float(math.NaN()),
+		Int(-5),
+		Float(-4.5),
+		Int(0),
+		Float(0.5),
+		Int(1),
+		Int(7),
+		Float(7.5),
+		String_(""),
+		String_("a"),
+		String_("ab"),
+		String_("b"),
+	}
+	for i, a := range ordered {
+		for j, b := range ordered {
+			got := a.Compare(b)
+			want := 0
+			if i < j {
+				want = -1
+			} else if i > j {
+				want = 1
+			}
+			if got != want {
+				t.Errorf("Compare(%v,%v) = %d, want %d", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestValueNumericCrossKindEquality(t *testing.T) {
+	if !Int(3).Equal(Float(3.0)) {
+		t.Errorf("Int(3) should equal Float(3)")
+	}
+	if Int(3).Hash64() != Float(3.0).Hash64() {
+		t.Errorf("equal numeric values must hash equal")
+	}
+	if Int(3).Equal(Float(3.5)) {
+		t.Errorf("Int(3) must not equal Float(3.5)")
+	}
+}
+
+func TestValueNaN(t *testing.T) {
+	nan := Float(math.NaN())
+	if nan.Compare(nan) != 0 {
+		t.Errorf("NaN must equal NaN under the total order")
+	}
+	if nan.Compare(Float(0)) != -1 || Float(0).Compare(nan) != 1 {
+		t.Errorf("NaN must order below other floats")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Null, "NULL"},
+		{Int(-7), "-7"},
+		{Float(1.25), "1.25"},
+		{String_("hi"), "hi"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("%#v.String() = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestParseValue(t *testing.T) {
+	v, err := ParseValue(KindInt, "123")
+	if err != nil || v != Int(123) {
+		t.Errorf("ParseValue int: %v %v", v, err)
+	}
+	v, err = ParseValue(KindFloat, "1.5")
+	if err != nil || v != Float(1.5) {
+		t.Errorf("ParseValue float: %v %v", v, err)
+	}
+	v, err = ParseValue(KindString, "abc")
+	if err != nil || v != String_("abc") {
+		t.Errorf("ParseValue string: %v %v", v, err)
+	}
+	if _, err = ParseValue(KindInt, "xyz"); err == nil {
+		t.Errorf("ParseValue should fail on bad int")
+	}
+	if v, err = ParseValue(KindNull, "anything"); err != nil || !v.IsNull() {
+		t.Errorf("ParseValue null: %v %v", v, err)
+	}
+	if _, err = ParseValue(Kind(99), "x"); err == nil {
+		t.Errorf("ParseValue should fail on unknown kind")
+	}
+}
+
+// randomValue draws from all kinds, biased toward collisions so equality
+// paths get exercised.
+func randomValue(r *rand.Rand) Value {
+	switch r.Intn(4) {
+	case 0:
+		return Null
+	case 1:
+		return Int(int64(r.Intn(16) - 8))
+	case 2:
+		return Float(float64(r.Intn(16)-8) / 2)
+	default:
+		letters := []string{"", "a", "b", "ab", "xyz"}
+		return String_(letters[r.Intn(len(letters))])
+	}
+}
+
+func TestValueCompareProperties(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 2000,
+		Values: func(args []reflect.Value, r *rand.Rand) {
+			args[0] = reflect.ValueOf(randomValue(r))
+			args[1] = reflect.ValueOf(randomValue(r))
+			args[2] = reflect.ValueOf(randomValue(r))
+		},
+	}
+	// Antisymmetry and hash consistency.
+	prop := func(a, b, c Value) bool {
+		if a.Compare(b) != -b.Compare(a) {
+			return false
+		}
+		if a.Equal(b) && a.Hash64() != b.Hash64() {
+			return false
+		}
+		// Transitivity of <=.
+		if a.Compare(b) <= 0 && b.Compare(c) <= 0 && a.Compare(c) > 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueHashDistribution(t *testing.T) {
+	// Sanity: distinct small ints should not all collide.
+	seen := map[uint64]bool{}
+	for i := int64(0); i < 64; i++ {
+		seen[Int(i).Hash64()] = true
+	}
+	if len(seen) < 60 {
+		t.Errorf("poor hash distribution: %d distinct hashes for 64 ints", len(seen))
+	}
+}

@@ -1,0 +1,35 @@
+package repro
+
+import (
+	"repro/internal/cql"
+)
+
+// StreamDef registers a base stream (its id and schema) with the query
+// parser.
+type StreamDef = cql.StreamDef
+
+// Catalog names the streams and tables a parsed query may reference.
+type Catalog = cql.Catalog
+
+// ParseQuery compiles a CQL-style query string into a plan node ready for
+// Compile. The dialect:
+//
+//	SELECT [DISTINCT] (* | col, ... | aggregates) FROM source
+//	    [JOIN source ON col, ...] [EXCEPT source ON col, ...]
+//	    [UNION source] [INTERSECT source]
+//	    [WHERE cond] [GROUP BY col, ...]
+//
+// where source is a registered stream name followed by a window —
+// [RANGE n] (time-based), [ROWS n] (count-based), or [UNBOUNDED] — or a
+// registered table name (joined retroactively for a Relation,
+// non-retroactively for an NRR).
+//
+// Parsed queries are terminal: compile them directly rather than chaining
+// further builder methods.
+func ParseQuery(src string, cat Catalog) (Node, error) {
+	n, err := cql.Parse(src, cat)
+	if err != nil {
+		return Node{err: err}, err
+	}
+	return Node{n: n}, nil
+}

@@ -1,0 +1,56 @@
+package repro
+
+import (
+	"repro/internal/exec"
+	"repro/internal/plan"
+)
+
+// PipelineEngine executes a compiled query concurrently: one goroutine per
+// operator, channel-connected, with watermark alignment at binary operators.
+// It is eventually equivalent to Engine — after Flush, Snapshot returns the
+// same answer the sequential executor would give at the same clock. A single
+// goroutine must drive Push/Advance/Flush; relation joins are not supported
+// in pipelined mode.
+type PipelineEngine struct {
+	*exec.Pipeline
+	phys *plan.Physical
+}
+
+// CompilePipeline annotates, plans, and instantiates the query on the
+// concurrent executor. Execution-cadence options (lazy/eager intervals,
+// OnEmit) do not apply; planning options do.
+func CompilePipeline(q Node, strategy Strategy, opts ...Option) (*PipelineEngine, error) {
+	if q.err != nil {
+		return nil, q.err
+	}
+	cfg := compileCfg{stats: plan.DefaultStats()}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	root := q.n
+	if err := plan.Annotate(root, cfg.stats); err != nil {
+		return nil, err
+	}
+	if cfg.optimize {
+		best, err := plan.Optimize(root, strategy, cfg.stats)
+		if err != nil {
+			return nil, err
+		}
+		root = best
+	}
+	phys, err := plan.Build(root, strategy, cfg.planOpts)
+	if err != nil {
+		return nil, err
+	}
+	pipe, err := exec.NewPipeline(phys, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &PipelineEngine{Pipeline: pipe, phys: phys}, nil
+}
+
+// Schema returns the result schema.
+func (e *PipelineEngine) Schema() *Schema { return e.phys.Schema }
+
+// Pattern returns the query's update-pattern class.
+func (e *PipelineEngine) Pattern() Pattern { return e.phys.Pattern }

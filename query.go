@@ -1,0 +1,228 @@
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/operator"
+	"repro/internal/plan"
+	"repro/internal/tuple"
+	"repro/internal/window"
+)
+
+// Node is a continuous-query plan under construction. Builder methods
+// resolve column names against the node's schema and accumulate errors,
+// which Compile surfaces; a zero Node is invalid.
+type Node struct {
+	n      *plan.Node
+	schema *tuple.Schema
+	err    error
+}
+
+// Err returns the first construction error, if any.
+func (q Node) Err() error { return q.err }
+
+// Stream starts a plan from base stream id bounded by the window spec.
+func Stream(id int, schema *Schema, spec window.Spec) Node {
+	if schema == nil {
+		return Node{err: fmt.Errorf("repro: stream %d has nil schema", id)}
+	}
+	return Node{n: plan.NewSource(id, spec, schema), schema: schema}
+}
+
+// Where filters by a condition over named columns.
+func (q Node) Where(c Cond) Node {
+	if q.err != nil {
+		return q
+	}
+	pred, err := c.resolve(q.schema)
+	if err != nil {
+		return Node{err: err}
+	}
+	return Node{n: plan.NewSelect(q.n, pred), schema: q.schema}
+}
+
+// Select projects onto the named columns (duplicates preserved).
+func (q Node) Select(cols ...string) Node {
+	if q.err != nil {
+		return q
+	}
+	idx, err := q.resolveCols(cols)
+	if err != nil {
+		return Node{err: err}
+	}
+	out, err := q.schema.Project(idx)
+	if err != nil {
+		return Node{err: err}
+	}
+	return Node{n: plan.NewProject(q.n, idx...), schema: out}
+}
+
+// JoinOn equijoins q with other on the named columns, which must exist in
+// both schemas. The result schema is q's columns followed by other's (name
+// collisions on the right are prefixed).
+func (q Node) JoinOn(other Node, cols ...string) Node {
+	if q.err != nil {
+		return q
+	}
+	if other.err != nil {
+		return other
+	}
+	l, err := q.resolveCols(cols)
+	if err != nil {
+		return Node{err: err}
+	}
+	r, err := other.resolveCols(cols)
+	if err != nil {
+		return Node{err: err}
+	}
+	return Node{
+		n:      plan.NewJoin(q.n, other.n, l, r),
+		schema: q.schema.Concat(other.schema),
+	}
+}
+
+// Distinct eliminates duplicate rows (over the full tuple).
+func (q Node) Distinct() Node {
+	if q.err != nil {
+		return q
+	}
+	return Node{n: plan.NewDistinct(q.n), schema: q.schema}
+}
+
+// Except removes rows whose named attribute values are matched, copy for
+// copy, by rows of other — the multiset negation of Section 2.1
+// (Equation 1). leftCols name q's attributes; rightCols other's (pass the
+// same names twice for a natural anti-match).
+func (q Node) Except(other Node, leftCols, rightCols []string) Node {
+	if q.err != nil {
+		return q
+	}
+	if other.err != nil {
+		return other
+	}
+	l, err := q.resolveCols(leftCols)
+	if err != nil {
+		return Node{err: err}
+	}
+	r, err := other.resolveCols(rightCols)
+	if err != nil {
+		return Node{err: err}
+	}
+	return Node{n: plan.NewNegate(q.n, other.n, l, r), schema: q.schema}
+}
+
+// IntersectWith keeps rows present in both inputs (multiset semantics); the
+// schemas must be layout-equal.
+func (q Node) IntersectWith(other Node) Node {
+	if q.err != nil {
+		return q
+	}
+	if other.err != nil {
+		return other
+	}
+	return Node{n: plan.NewIntersect(q.n, other.n), schema: q.schema}
+}
+
+// Union merges two layout-equal inputs.
+func Union(a, b Node) Node {
+	if a.err != nil {
+		return a
+	}
+	if b.err != nil {
+		return b
+	}
+	return Node{n: plan.NewUnion(a.n, b.n), schema: a.schema}
+}
+
+// Agg is one aggregate specification for GroupBy.
+type Agg struct {
+	kind operator.AggKind
+	col  string
+}
+
+// CountAll counts rows per group.
+func CountAll() Agg { return Agg{kind: operator.Count} }
+
+// SumOf sums the named column.
+func SumOf(col string) Agg { return Agg{kind: operator.Sum, col: col} }
+
+// AvgOf averages the named column.
+func AvgOf(col string) Agg { return Agg{kind: operator.Avg, col: col} }
+
+// MinOf tracks the minimum of the named column.
+func MinOf(col string) Agg { return Agg{kind: operator.Min, col: col} }
+
+// MaxOf tracks the maximum of the named column.
+func MaxOf(col string) Agg { return Agg{kind: operator.Max, col: col} }
+
+// GroupBy aggregates per group of the named columns. New results replace
+// previous results for the same group (the result view is keyed). GroupBy
+// must be the final operator of a query.
+func (q Node) GroupBy(groupCols []string, aggs ...Agg) Node {
+	if q.err != nil {
+		return q
+	}
+	idx, err := q.resolveCols(groupCols)
+	if err != nil {
+		return Node{err: err}
+	}
+	specs := make([]operator.AggSpec, len(aggs))
+	for i, a := range aggs {
+		spec := operator.AggSpec{Kind: a.kind}
+		if a.kind != operator.Count {
+			c := q.schema.Index(a.col)
+			if c < 0 {
+				return Node{err: fmt.Errorf("repro: no column %q in %s", a.col, q.schema)}
+			}
+			spec.Col = c
+		}
+		specs[i] = spec
+	}
+	n := plan.NewGroupBy(q.n, idx, specs...)
+	// Schema derivation is repeated by Annotate; reuse a lightweight probe.
+	return Node{n: n, schema: nil}
+}
+
+// JoinTable joins the stream with a table on pairwise named columns. For an
+// NRR the join is non-retroactive (table updates affect only later
+// arrivals); for a Relation it is retroactive and strict.
+func (q Node) JoinTable(tbl *Table, streamCols, tableCols []string) Node {
+	if q.err != nil {
+		return q
+	}
+	sIdx, err := q.resolveCols(streamCols)
+	if err != nil {
+		return Node{err: err}
+	}
+	tIdx := make([]int, len(tableCols))
+	for i, c := range tableCols {
+		tIdx[i] = tbl.Schema().Index(c)
+		if tIdx[i] < 0 {
+			return Node{err: fmt.Errorf("repro: no column %q in table %s", c, tbl.Name())}
+		}
+	}
+	var n *plan.Node
+	if tbl.Retroactive() {
+		n = plan.NewRelJoin(q.n, tbl, sIdx, tIdx)
+	} else {
+		n = plan.NewNRRJoin(q.n, tbl, sIdx, tIdx)
+	}
+	return Node{n: n, schema: q.schema.Concat(tbl.Schema())}
+}
+
+func (q Node) resolveCols(cols []string) ([]int, error) {
+	if q.schema == nil {
+		return nil, fmt.Errorf("repro: node has no schema (GroupBy must be last)")
+	}
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("repro: no columns named")
+	}
+	idx := make([]int, len(cols))
+	for i, c := range cols {
+		idx[i] = q.schema.Index(c)
+		if idx[i] < 0 {
+			return nil, fmt.Errorf("repro: no column %q in %s", c, q.schema)
+		}
+	}
+	return idx, nil
+}

@@ -1,0 +1,334 @@
+// Package repro is an update-pattern-aware continuous query processor over
+// data streams — a from-scratch Go reproduction of Golab & Özsu,
+// "Update-Pattern-Aware Modeling and Processing of Continuous Queries"
+// (SIGMOD 2005).
+//
+// A continuous query runs over unbounded streams, usually bounded by sliding
+// windows, and maintains a materialized answer that must equal the
+// corresponding one-time relational query over the current window contents
+// at every moment. The paper's insight is that queries differ in their
+// *update patterns* — the order in which results are produced and deleted:
+//
+//   - monotonic queries never delete results;
+//   - weakest non-monotonic (WKS) queries expire results FIFO;
+//   - weak non-monotonic (WK) queries expire out of order, but at times
+//     known in advance via expiration timestamps;
+//   - strict non-monotonic (STR) queries retract results at unpredictable
+//     times with explicit negative tuples.
+//
+// Knowing the pattern of every plan edge lets the processor choose state
+// structures (FIFO queues, partitioned expiration calendars, hash tables)
+// and operator variants (the δ duplicate-elimination operator) per edge —
+// the update-pattern-aware (UPA) strategy — instead of the two classical
+// techniques it is benchmarked against: processing an explicit negative
+// tuple for every expiration (NT), or discovering expirations by scanning
+// insertion-ordered lists (DIRECT).
+//
+// # Quick start
+//
+//	schema := repro.MustSchema(
+//		repro.Column{Name: "src", Kind: repro.KindInt},
+//		repro.Column{Name: "proto", Kind: repro.KindString},
+//	)
+//	left := repro.Stream(0, schema, repro.TimeWindow(2000)).
+//		Where(repro.Col("proto").EqStr("ftp"))
+//	right := repro.Stream(1, schema, repro.TimeWindow(2000)).
+//		Where(repro.Col("proto").EqStr("ftp"))
+//	q := left.JoinOn(right, "src")
+//
+//	eng, err := repro.Compile(q, repro.UPA)
+//	if err != nil { ... }
+//	eng.Push(0, 1, repro.Int(7), repro.Str("ftp"))
+//	eng.Push(1, 2, repro.Int(7), repro.Str("ftp"))
+//	rows, _ := eng.Snapshot() // the join result, Definition-1 exact
+//
+// The packages under internal implement the full system: the pattern
+// classification and propagation rules (internal/core), physical operators
+// (internal/operator), pattern-aware state buffers (internal/statebuf), the
+// planner, cost model and optimizer (internal/plan), the three execution
+// strategies (internal/exec), a Definition-1/2 reference evaluator
+// (internal/reference), and the Section 6 experiment harness
+// (internal/bench) with its synthetic LBL-style traffic generator
+// (internal/trace).
+package repro
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/plan"
+	"repro/internal/relation"
+	"repro/internal/trace"
+	"repro/internal/tuple"
+	"repro/internal/window"
+)
+
+// Re-exported data-model types.
+type (
+	// Value is a typed scalar (int, float, or string).
+	Value = tuple.Value
+	// Kind is a scalar type tag.
+	Kind = tuple.Kind
+	// Column is one schema attribute.
+	Column = tuple.Column
+	// Schema is an ordered list of named, typed columns.
+	Schema = tuple.Schema
+	// Tuple is one timestamped record; Neg marks retractions.
+	Tuple = tuple.Tuple
+	// Pattern is an update-pattern class (Monotonic/WKS/WK/STR).
+	Pattern = core.Pattern
+	// Strategy is an execution technique (NT, Direct, UPA).
+	Strategy = plan.Strategy
+	// Table is a relation or non-retroactive relation (NRR).
+	Table = relation.Table
+	// TableUpdate is one table mutation.
+	TableUpdate = relation.Update
+	// Stats are executor counters.
+	Stats = exec.Stats
+)
+
+// Scalar kind tags.
+const (
+	KindNull   = tuple.KindNull
+	KindInt    = tuple.KindInt
+	KindFloat  = tuple.KindFloat
+	KindString = tuple.KindString
+)
+
+// Update-pattern classes (Section 3.1 of the paper).
+const (
+	Monotonic = core.Monotonic
+	Weakest   = core.Weakest
+	Weak      = core.Weak
+	Strict    = core.Strict
+)
+
+// Execution strategies (Section 6).
+const (
+	// NT is the negative-tuple approach.
+	NT = plan.NT
+	// Direct is the direct approach.
+	Direct = plan.Direct
+	// UPA is the update-pattern-aware technique.
+	UPA = plan.UPA
+)
+
+// Table update kinds.
+const (
+	// InsertRow adds a row to a table.
+	InsertRow = relation.Insert
+	// DeleteRow removes a row from a table.
+	DeleteRow = relation.Delete
+)
+
+// Value constructors.
+var (
+	// Int makes an integer value.
+	Int = tuple.Int
+	// Float makes a float value.
+	Float = tuple.Float
+	// Str makes a string value.
+	Str = tuple.String_
+)
+
+// NewSchema builds a schema; column names must be unique.
+func NewSchema(cols ...Column) (*Schema, error) { return tuple.NewSchema(cols...) }
+
+// MustSchema is NewSchema that panics on error.
+func MustSchema(cols ...Column) *Schema { return tuple.MustSchema(cols...) }
+
+// NewRelation builds a retroactive table: updates affect previously arrived
+// stream tuples, retracting or extending prior results (strict output).
+func NewRelation(name string, schema *Schema) *Table { return relation.NewRelation(name, schema) }
+
+// NewNRR builds a non-retroactive relation (Section 4.1): updates affect
+// only stream tuples that arrive later, preserving the input's pattern.
+func NewNRR(name string, schema *Schema) *Table { return relation.NewNRR(name, schema) }
+
+// Window specs.
+
+// TimeWindow retains tuples from the last n time units.
+func TimeWindow(n int64) window.Spec { return window.Spec{Type: window.TimeBased, Size: n} }
+
+// CountWindow retains the n most recent tuples.
+func CountWindow(n int64) window.Spec { return window.Spec{Type: window.CountBased, Size: n} }
+
+// Unbounded is a raw, windowless stream (monotonic queries only).
+func Unbounded() window.Spec { return window.Unbounded }
+
+// Option tunes compilation and execution.
+type Option func(*compileCfg)
+
+type compileCfg struct {
+	planOpts plan.Options
+	execCfg  exec.Config
+	optimize bool
+	stats    plan.Stats
+}
+
+// WithPartitions sets the partition count of partitioned state buffers
+// (default 10).
+func WithPartitions(n int) Option {
+	return func(c *compileCfg) { c.planOpts.Partitions = n }
+}
+
+// WithSTRPartitioned forces the partitioned storage for strict results.
+func WithSTRPartitioned() Option {
+	return func(c *compileCfg) { c.planOpts.STR = plan.STRPartitioned }
+}
+
+// WithSTRHash forces the hash/negative-tuple storage for strict results.
+func WithSTRHash() Option {
+	return func(c *compileCfg) { c.planOpts.STR = plan.STRHash }
+}
+
+// WithLazyInterval sets the lazy maintenance interval in time units.
+func WithLazyInterval(n int64) Option {
+	return func(c *compileCfg) { c.execCfg.LazyInterval = n }
+}
+
+// WithEagerInterval sets the eager expiration interval in time units.
+func WithEagerInterval(n int64) Option {
+	return func(c *compileCfg) { c.execCfg.EagerInterval = n }
+}
+
+// WithOnEmit observes every output-stream tuple (insertions and
+// retractions) as it is produced.
+func WithOnEmit(fn func(Tuple)) Option {
+	return func(c *compileCfg) { c.execCfg.OnEmit = fn }
+}
+
+// WithOptimizer runs the update-pattern-aware rewrite optimizer
+// (Section 5.4.2) before physical planning.
+func WithOptimizer() Option {
+	return func(c *compileCfg) { c.optimize = true }
+}
+
+// WithStreamStats supplies estimation statistics for one stream (arrival
+// rate and per-column distinct counts), improving cost-based decisions.
+func WithStreamStats(streamID int, rate float64, distinct map[int]float64) Option {
+	return func(c *compileCfg) {
+		if c.stats.Streams == nil {
+			c.stats.Streams = map[int]plan.StreamStats{}
+		}
+		c.stats.Streams[streamID] = plan.StreamStats{Rate: rate, Distinct: distinct}
+	}
+}
+
+// Engine executes one compiled continuous query.
+type Engine struct {
+	*exec.Engine
+	phys *plan.Physical
+	root *plan.Node
+}
+
+// Compile annotates, (optionally) optimizes, physically plans, and
+// instantiates the query under the given strategy.
+func Compile(q Node, strategy Strategy, opts ...Option) (*Engine, error) {
+	if q.err != nil {
+		return nil, q.err
+	}
+	cfg := compileCfg{stats: plan.DefaultStats()}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	root := q.n
+	if err := plan.Annotate(root, cfg.stats); err != nil {
+		return nil, err
+	}
+	if cfg.optimize {
+		best, err := plan.Optimize(root, strategy, cfg.stats)
+		if err != nil {
+			return nil, err
+		}
+		root = best
+	}
+	phys, err := plan.Build(root, strategy, cfg.planOpts)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := exec.New(phys, cfg.execCfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{Engine: eng, phys: phys, root: root}, nil
+}
+
+// Schema returns the result schema.
+func (e *Engine) Schema() *Schema { return e.phys.Schema }
+
+// Pattern returns the query's update-pattern class — the root edge
+// annotation of Section 5.2.
+func (e *Engine) Pattern() Pattern { return e.phys.Pattern }
+
+// Explain writes the annotated plan (each operator labeled with its output
+// update pattern, as in the paper's Figure 6) and the chosen view structure.
+func (e *Engine) Explain(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "strategy: %v\nresult view: %v\n", e.phys.Strategy, e.phys.View.Kind); err != nil {
+		return err
+	}
+	_, err := fmt.Fprint(w, e.root.String())
+	return err
+}
+
+// Lookup syncs and returns the current result rows whose key columns (the
+// view's retraction or group key) match the given values; it returns
+// (nil, false) when the chosen view structure does not support keyed access
+// (FIFO/list/partitioned views under DIRECT and most UPA plans — use
+// Snapshot there).
+func (e *Engine) Lookup(vals ...Value) ([]Tuple, bool) {
+	lv, ok := e.Engine.View().(exec.Lookup)
+	if !ok {
+		return nil, false
+	}
+	if err := e.Sync(); err != nil {
+		return nil, false
+	}
+	cols := make([]int, len(vals))
+	for i := range cols {
+		cols[i] = i
+	}
+	probe := tuple.Tuple{Vals: vals}
+	return lv.LookupKey(probe.Key(cols))
+}
+
+// UpdateTable applies one table mutation at its timestamp, routing the
+// consequences (for retroactive tables) through the plan.
+func (e *Engine) UpdateTable(tbl *Table, u TableUpdate) error {
+	return e.Engine.ApplyTableUpdate(tbl, u)
+}
+
+// WriteProfile renders per-operator runtime counters (state size, tuple
+// touches, emissions, retractions) as an aligned tree — an EXPLAIN ANALYZE
+// for the running continuous query.
+func (e *Engine) WriteProfile(w io.Writer) error { return e.Engine.WriteProfile(w) }
+
+// Trace re-exports: the synthetic LBL-style traffic workload of Section 6.1.
+type (
+	// TraceConfig parameterizes the synthetic traffic generator.
+	TraceConfig = trace.Config
+	// TraceRecord is one generated connection record.
+	TraceRecord = trace.Record
+)
+
+// TraceSchema returns the connection-record schema.
+func TraceSchema() *Schema { return trace.Schema() }
+
+// GenerateTrace materializes a deterministic synthetic trace.
+func GenerateTrace(cfg TraceConfig) []TraceRecord { return trace.Generate(cfg) }
+
+// Benchmark re-exports: the Section 6 experiment harness.
+type (
+	// BenchQuery identifies one of the paper's five experimental queries.
+	BenchQuery = bench.Query
+	// BenchResult is one measured run.
+	BenchResult = bench.Result
+	// BenchConfig parameterizes a measured run.
+	BenchConfig = bench.RunConfig
+)
+
+// RunBench executes one experimental query under a configuration.
+func RunBench(q BenchQuery, rc BenchConfig) (BenchResult, error) { return bench.Run(q, rc) }

@@ -1,0 +1,433 @@
+package repro_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+func linkSchema() *repro.Schema {
+	return repro.MustSchema(
+		repro.Column{Name: "src", Kind: repro.KindInt},
+		repro.Column{Name: "proto", Kind: repro.KindString},
+		repro.Column{Name: "bytes", Kind: repro.KindInt},
+	)
+}
+
+func TestQuickstartJoin(t *testing.T) {
+	schema := linkSchema()
+	left := repro.Stream(0, schema, repro.TimeWindow(100)).Where(repro.Col("proto").EqStr("ftp"))
+	right := repro.Stream(1, schema, repro.TimeWindow(100)).Where(repro.Col("proto").EqStr("ftp"))
+	q := left.JoinOn(right, "src")
+
+	for _, strat := range []repro.Strategy{repro.NT, repro.Direct, repro.UPA} {
+		eng, err := repro.Compile(q, strat)
+		if err != nil {
+			t.Fatalf("%v: %v", strat, err)
+		}
+		must := func(err error) {
+			if err != nil {
+				t.Fatalf("%v: %v", strat, err)
+			}
+		}
+		must(eng.Push(0, 1, repro.Int(7), repro.Str("ftp"), repro.Int(10)))
+		must(eng.Push(1, 2, repro.Int(7), repro.Str("ftp"), repro.Int(20)))
+		must(eng.Push(0, 3, repro.Int(7), repro.Str("http"), repro.Int(30)))
+		rows, err := eng.Snapshot()
+		must(err)
+		if len(rows) != 1 || rows[0].Vals[0] != repro.Int(7) {
+			t.Fatalf("%v: snapshot = %v", strat, rows)
+		}
+		// The join result expires when its first constituent does.
+		must(eng.Advance(101))
+		if n, _ := eng.ResultCount(); n != 0 {
+			t.Fatalf("%v: results after window slid: %d", strat, n)
+		}
+	}
+}
+
+func TestBuilderErrorsSurfaceAtCompile(t *testing.T) {
+	schema := linkSchema()
+	cases := map[string]repro.Node{
+		"bad-where-col":  repro.Stream(0, schema, repro.TimeWindow(10)).Where(repro.Col("nope").Eq(repro.Int(1))),
+		"bad-select":     repro.Stream(0, schema, repro.TimeWindow(10)).Select("nope"),
+		"bad-join-col":   repro.Stream(0, schema, repro.TimeWindow(10)).JoinOn(repro.Stream(1, schema, repro.TimeWindow(10)), "nope"),
+		"empty-join":     repro.Stream(0, schema, repro.TimeWindow(10)).JoinOn(repro.Stream(1, schema, repro.TimeWindow(10))),
+		"nil-schema":     repro.Stream(0, nil, repro.TimeWindow(10)),
+		"groupby-middle": repro.Stream(0, schema, repro.TimeWindow(10)).GroupBy([]string{"src"}, repro.CountAll()).Select("src"),
+		"bad-agg-col":    repro.Stream(0, schema, repro.TimeWindow(10)).GroupBy([]string{"src"}, repro.SumOf("nope")),
+		"bad-except":     repro.Stream(0, schema, repro.TimeWindow(10)).Except(repro.Stream(1, schema, repro.TimeWindow(10)), []string{"nope"}, []string{"src"}),
+	}
+	for name, q := range cases {
+		if _, err := repro.Compile(q, repro.UPA); err == nil {
+			t.Errorf("%s: compile succeeded", name)
+		}
+		if q.Err() == nil && name != "groupby-middle" {
+			// groupby-middle is caught at Compile (placement rule).
+			t.Errorf("%s: builder did not record an error", name)
+		}
+	}
+}
+
+func TestGroupByFacade(t *testing.T) {
+	schema := linkSchema()
+	q := repro.Stream(0, schema, repro.TimeWindow(50)).
+		GroupBy([]string{"proto"}, repro.CountAll(), repro.SumOf("bytes"), repro.MinOf("bytes"), repro.MaxOf("bytes"), repro.AvgOf("bytes"))
+	eng, err := repro.Compile(q, repro.UPA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Push(0, 1, repro.Int(1), repro.Str("ftp"), repro.Int(10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Push(0, 2, repro.Int(2), repro.Str("ftp"), repro.Int(30)); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := eng.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %v", rows)
+	}
+	got := rows[0].Vals
+	if got[0].S != "ftp" || got[1] != repro.Int(2) || got[2] != repro.Float(40) ||
+		got[3] != repro.Int(10) || got[4] != repro.Int(30) || got[5] != repro.Float(20) {
+		t.Errorf("group row = %v", got)
+	}
+}
+
+func TestExceptAndIntersectFacade(t *testing.T) {
+	schema := linkSchema()
+	a := repro.Stream(0, schema, repro.TimeWindow(100)).Select("src")
+	b := repro.Stream(1, schema, repro.TimeWindow(100)).Select("src")
+	q := a.Except(b, []string{"src"}, []string{"src"})
+	eng, err := repro.Compile(q, repro.UPA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Push(0, 1, repro.Int(5), repro.Str("x"), repro.Int(1))
+	if n, _ := eng.ResultCount(); n != 1 {
+		t.Fatal("negation should admit the unmatched tuple")
+	}
+	eng.Push(1, 2, repro.Int(5), repro.Str("y"), repro.Int(2))
+	if n, _ := eng.ResultCount(); n != 0 {
+		t.Fatal("negation should retract on a matching W2 arrival")
+	}
+
+	x := repro.Stream(0, schema, repro.TimeWindow(100)).Select("src").
+		IntersectWith(repro.Stream(1, schema, repro.TimeWindow(100)).Select("src"))
+	eng2, err := repro.Compile(x, repro.Direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng2.Push(0, 1, repro.Int(5), repro.Str("x"), repro.Int(1))
+	eng2.Push(1, 2, repro.Int(5), repro.Str("y"), repro.Int(2))
+	if n, _ := eng2.ResultCount(); n != 1 {
+		t.Fatal("intersection should match")
+	}
+}
+
+func TestUnionFacade(t *testing.T) {
+	schema := linkSchema()
+	q := repro.Union(
+		repro.Stream(0, schema, repro.TimeWindow(50)),
+		repro.Stream(1, schema, repro.TimeWindow(50)),
+	)
+	eng, err := repro.Compile(q, repro.UPA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Push(0, 1, repro.Int(1), repro.Str("a"), repro.Int(1))
+	eng.Push(1, 2, repro.Int(2), repro.Str("b"), repro.Int(2))
+	if n, _ := eng.ResultCount(); n != 2 {
+		t.Fatalf("union count = %d", n)
+	}
+}
+
+func TestTableJoinFacade(t *testing.T) {
+	schema := linkSchema()
+	tblSchema := repro.MustSchema(
+		repro.Column{Name: "sym", Kind: repro.KindInt},
+		repro.Column{Name: "name", Kind: repro.KindString},
+	)
+	nrr := repro.NewNRR("companies", tblSchema)
+	q := repro.Stream(0, schema, repro.TimeWindow(100)).JoinTable(nrr, []string{"src"}, []string{"sym"})
+	eng, err := repro.Compile(q, repro.UPA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.UpdateTable(nrr, repro.TableUpdate{Kind: repro.InsertRow, TS: 0, Row: []repro.Value{repro.Int(7), repro.Str("Sun")}}); err != nil {
+		t.Fatal(err)
+	}
+	eng.Push(0, 1, repro.Int(7), repro.Str("ftp"), repro.Int(1))
+	rows, _ := eng.Snapshot()
+	if len(rows) != 1 || rows[0].Vals[4].S != "Sun" {
+		t.Fatalf("table join rows = %v", rows)
+	}
+	// Non-retroactive: deleting the row keeps the result.
+	if err := eng.UpdateTable(nrr, repro.TableUpdate{Kind: repro.DeleteRow, TS: 2, Row: []repro.Value{repro.Int(7), repro.Str("Sun")}}); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := eng.ResultCount(); n != 1 {
+		t.Fatal("NRR delete must not retract")
+	}
+}
+
+func TestExplainAndPattern(t *testing.T) {
+	schema := linkSchema()
+	q := repro.Stream(0, schema, repro.TimeWindow(100)).
+		Except(repro.Stream(1, schema, repro.TimeWindow(100)), []string{"src"}, []string{"src"})
+	eng, err := repro.Compile(q, repro.UPA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Pattern() != repro.Strict {
+		t.Errorf("pattern = %v", eng.Pattern())
+	}
+	var buf bytes.Buffer
+	if err := eng.Explain(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"UPA", "negate", "[STR]", "[WKS]"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain missing %q:\n%s", want, out)
+		}
+	}
+	if eng.Schema().Len() != 3 {
+		t.Errorf("schema = %v", eng.Schema())
+	}
+}
+
+func TestOptionsAndOptimizer(t *testing.T) {
+	schema := linkSchema()
+	neg := repro.Stream(0, schema, repro.TimeWindow(100)).
+		Except(repro.Stream(1, schema, repro.TimeWindow(100)), []string{"src"}, []string{"src"})
+	q := neg.JoinOn(repro.Stream(2, schema, repro.TimeWindow(100)).Where(repro.Col("proto").EqStr("ftp")), "src")
+
+	var emitted int
+	eng, err := repro.Compile(q, repro.UPA,
+		repro.WithPartitions(5),
+		repro.WithSTRHash(),
+		repro.WithLazyInterval(10),
+		repro.WithEagerInterval(1),
+		repro.WithOptimizer(),
+		repro.WithOnEmit(func(repro.Tuple) { emitted++ }),
+		repro.WithStreamStats(0, 1, map[int]float64{0: 50}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Push(0, 1, repro.Int(7), repro.Str("x"), repro.Int(1))
+	eng.Push(2, 2, repro.Int(7), repro.Str("ftp"), repro.Int(2))
+	if n, _ := eng.ResultCount(); n != 1 {
+		t.Fatalf("results = %d", n)
+	}
+	if emitted == 0 {
+		t.Error("OnEmit not called")
+	}
+	// STR partitioned option also compiles and runs.
+	if _, err := repro.Compile(q, repro.UPA, repro.WithSTRPartitioned()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountWindowFacade(t *testing.T) {
+	schema := linkSchema()
+	q := repro.Stream(0, schema, repro.CountWindow(2)).Select("src")
+	eng, err := repro.Compile(q, repro.UPA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 3; i++ {
+		eng.Push(0, i, repro.Int(i), repro.Str("a"), repro.Int(1))
+	}
+	rows, _ := eng.Snapshot()
+	if len(rows) != 2 {
+		t.Fatalf("count window rows = %v", rows)
+	}
+}
+
+func TestMonotonicStreamFacade(t *testing.T) {
+	schema := linkSchema()
+	q := repro.Stream(0, schema, repro.Unbounded()).Where(repro.Col("bytes").Gt(repro.Int(5)))
+	eng, err := repro.Compile(q, repro.UPA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Pattern() != repro.Monotonic {
+		t.Errorf("pattern = %v", eng.Pattern())
+	}
+	eng.Push(0, 1, repro.Int(1), repro.Str("a"), repro.Int(10))
+	eng.Push(0, 2, repro.Int(2), repro.Str("a"), repro.Int(1))
+	if n, _ := eng.ResultCount(); n != 1 {
+		t.Fatalf("monotonic count = %d", n)
+	}
+}
+
+func TestTraceAndBenchFacade(t *testing.T) {
+	recs := repro.GenerateTrace(repro.TraceConfig{Tuples: 100, Seed: 1})
+	if len(recs) != 100 || repro.TraceSchema().Len() != 6 {
+		t.Fatal("trace facade")
+	}
+	res, err := repro.RunBench(0 /* Q1FTP */, repro.BenchConfig{Strategy: repro.UPA, Window: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tuples == 0 || res.MsPerK <= 0 {
+		t.Errorf("bench facade result: %+v", res)
+	}
+}
+
+func TestCondCombinators(t *testing.T) {
+	schema := linkSchema()
+	q := repro.Stream(0, schema, repro.TimeWindow(50)).Where(repro.All(
+		repro.Any(repro.Col("proto").EqStr("ftp"), repro.Col("proto").EqStr("telnet")),
+		repro.NotCond(repro.Col("bytes").Ge(repro.Int(100))),
+		repro.Col("src").Ne(repro.Int(0)),
+		repro.Col("src").Le(repro.Int(10)),
+		repro.Col("src").Lt(repro.Int(10)),
+		repro.Col("src").EqCol("src"),
+		repro.Col("proto").EqWithSelectivity(repro.Str("ftp"), 0.04),
+	))
+	eng, err := repro.Compile(q, repro.Direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Push(0, 1, repro.Int(5), repro.Str("ftp"), repro.Int(10))  // passes
+	eng.Push(0, 2, repro.Int(5), repro.Str("smtp"), repro.Int(10)) // fails Any
+	eng.Push(0, 3, repro.Int(0), repro.Str("ftp"), repro.Int(10))  // fails Ne
+	if n, _ := eng.ResultCount(); n != 1 {
+		t.Fatalf("cond count = %d", n)
+	}
+	// Unknown columns in combinators surface errors.
+	bad := repro.Stream(0, schema, repro.TimeWindow(50)).Where(repro.All(repro.Col("nope").Eq(repro.Int(1))))
+	if _, err := repro.Compile(bad, repro.UPA); err == nil {
+		t.Error("bad column in All accepted")
+	}
+	bad2 := repro.Stream(0, schema, repro.TimeWindow(50)).Where(repro.Col("src").EqCol("nope"))
+	if _, err := repro.Compile(bad2, repro.UPA); err == nil {
+		t.Error("bad column in EqCol accepted")
+	}
+}
+
+func TestParseQueryEndToEnd(t *testing.T) {
+	schema := linkSchema()
+	cat := repro.Catalog{
+		Streams: map[string]repro.StreamDef{
+			"S0": {ID: 0, Schema: schema},
+			"S1": {ID: 1, Schema: schema},
+		},
+	}
+	q, err := repro.ParseQuery(
+		"SELECT * FROM S0 [RANGE 100] JOIN S1 [RANGE 100] ON src WHERE proto = 'ftp'", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, strat := range []repro.Strategy{repro.NT, repro.Direct, repro.UPA} {
+		eng, err := repro.Compile(q, strat)
+		if err != nil {
+			t.Fatalf("%v: %v", strat, err)
+		}
+		eng.Push(0, 1, repro.Int(7), repro.Str("ftp"), repro.Int(1))
+		eng.Push(1, 2, repro.Int(7), repro.Str("ftp"), repro.Int(2))
+		eng.Push(0, 3, repro.Int(7), repro.Str("http"), repro.Int(3))
+		if n, _ := eng.ResultCount(); n != 1 {
+			t.Fatalf("%v: results = %d", strat, n)
+		}
+	}
+	// Parse errors surface both immediately and at Compile.
+	bad, err := repro.ParseQuery("SELECT nope FROM S0 [RANGE 10]", cat)
+	if err == nil || bad.Err() == nil {
+		t.Error("bad query accepted")
+	}
+	if _, err := repro.Compile(bad, repro.UPA); err == nil {
+		t.Error("bad query compiled")
+	}
+}
+
+func TestParseQueryGroupBy(t *testing.T) {
+	cat := repro.Catalog{Streams: map[string]repro.StreamDef{"S0": {ID: 0, Schema: linkSchema()}}}
+	q, err := repro.ParseQuery("SELECT proto, COUNT(*) FROM S0 [RANGE 50] GROUP BY proto", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := repro.Compile(q, repro.UPA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Push(0, 1, repro.Int(1), repro.Str("ftp"), repro.Int(1))
+	eng.Push(0, 2, repro.Int(2), repro.Str("ftp"), repro.Int(1))
+	rows, _ := eng.Snapshot()
+	if len(rows) != 1 || rows[0].Vals[1] != repro.Int(2) {
+		t.Fatalf("group rows = %v", rows)
+	}
+}
+
+func TestPipelineFacade(t *testing.T) {
+	schema := linkSchema()
+	q := repro.Stream(0, schema, repro.TimeWindow(100)).
+		JoinOn(repro.Stream(1, schema, repro.TimeWindow(100)), "src")
+	pipe, err := repro.CompilePipeline(q, repro.UPA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pipe.Close()
+	if pipe.Pattern() != repro.Weak || pipe.Schema().Len() != 6 {
+		t.Error("pipeline metadata")
+	}
+	pipe.Push(0, 1, repro.Int(7), repro.Str("ftp"), repro.Int(1))
+	pipe.Push(1, 2, repro.Int(7), repro.Str("ftp"), repro.Int(2))
+	rows, err := pipe.Snapshot()
+	if err != nil || len(rows) != 1 {
+		t.Fatalf("pipeline snapshot: %v %v", rows, err)
+	}
+	// Builder errors surface.
+	bad := repro.Stream(0, nil, repro.TimeWindow(10))
+	if _, err := repro.CompilePipeline(bad, repro.UPA); err == nil {
+		t.Error("bad query accepted")
+	}
+}
+
+func TestLookup(t *testing.T) {
+	schema := linkSchema()
+	// Keyed view (group-by): lookup by group value.
+	g := repro.Stream(0, schema, repro.TimeWindow(50)).
+		GroupBy([]string{"proto"}, repro.CountAll())
+	eng, err := repro.Compile(g, repro.UPA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Push(0, 1, repro.Int(1), repro.Str("ftp"), repro.Int(1))
+	eng.Push(0, 2, repro.Int(2), repro.Str("ftp"), repro.Int(1))
+	rows, ok := eng.Lookup(repro.Str("ftp"))
+	if !ok || len(rows) != 1 || rows[0].Vals[1] != repro.Int(2) {
+		t.Fatalf("keyed lookup: %v %v", rows, ok)
+	}
+	if rows, ok := eng.Lookup(repro.Str("nntp")); !ok || len(rows) != 0 {
+		t.Fatalf("absent group lookup: %v %v", rows, ok)
+	}
+	// NT hash view: lookup by full row.
+	j := repro.Stream(0, schema, repro.TimeWindow(50)).Select("src")
+	nt, err := repro.Compile(j, repro.NT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nt.Push(0, 1, repro.Int(7), repro.Str("ftp"), repro.Int(1))
+	rows, ok = nt.Lookup(repro.Int(7))
+	if !ok || len(rows) != 1 {
+		t.Fatalf("hash lookup: %v %v", rows, ok)
+	}
+	// FIFO view (UPA over WKS root): no keyed access.
+	upa, err := repro.Compile(j, repro.UPA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	upa.Push(0, 1, repro.Int(7), repro.Str("ftp"), repro.Int(1))
+	if _, ok := upa.Lookup(repro.Int(7)); ok {
+		t.Fatal("FIFO view should not support keyed lookup")
+	}
+}
