@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/trace"
 )
@@ -33,6 +34,7 @@ func main() {
 }
 
 func run(tuples, links, hosts int, skew float64, seed int64, disjoint bool, out string) error {
+	start := time.Now()
 	recs := trace.Generate(trace.Config{
 		Tuples:          tuples,
 		Links:           links,
@@ -50,5 +52,15 @@ func run(tuples, links, hosts int, skew float64, seed int64, disjoint bool, out 
 		defer f.Close()
 		w = f
 	}
-	return trace.WriteCSV(w, recs)
+	if err := trace.WriteCSV(w, recs); err != nil {
+		return err
+	}
+	// Summary goes to stderr so piped CSV output stays clean.
+	span := int64(0)
+	if len(recs) > 0 {
+		span = recs[len(recs)-1].TS - recs[0].TS
+	}
+	fmt.Fprintf(os.Stderr, "tracegen: %d records across %d links, %d time units, in %v\n",
+		len(recs), links, span, time.Since(start).Round(time.Millisecond))
+	return nil
 }

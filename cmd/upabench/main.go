@@ -7,6 +7,7 @@
 //	upabench                 # run every experiment at quick scale
 //	upabench -scale full     # paper-scale window sweeps (slow)
 //	upabench -exp e1a,e3a    # run a subset
+//	upabench -metrics-addr :9090  # expose the in-progress run's metrics
 //	upabench -list           # list experiment ids
 package main
 
@@ -17,14 +18,26 @@ import (
 	"strings"
 
 	"repro/internal/bench"
+	"repro/internal/obs"
 )
 
 func main() {
 	scale := flag.String("scale", "quick", "experiment scale: quick or full")
 	exps := flag.String("exp", "", "comma-separated experiment ids (default: all)")
+	metricsAddr := flag.String("metrics-addr", "", "serve the in-progress run's metrics/pprof on this address (e.g. :9090)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()
 
+	if *metricsAddr != "" {
+		bench.EnableLiveMetrics()
+		srv, err := obs.ServeFunc(*metricsAddr, bench.LiveMetrics)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "upabench: metrics endpoint:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "serving metrics on http://%s/metrics (pprof at /debug/pprof/)\n", srv.Addr())
+	}
 	if err := run(*scale, *exps, *list); err != nil {
 		fmt.Fprintln(os.Stderr, "upabench:", err)
 		os.Exit(1)

@@ -8,19 +8,28 @@
 //	upaquery -query q1-ftp -strategy upa -window 5000
 //	upaquery -query q3 -strategy nt -window 2000 -trace trace.csv
 //	upaquery -cql "SELECT DISTINCT src FROM S0 [RANGE 2000]" -links 1
+//	upaquery -query q3 -strategy nt -metrics-addr :9090 -trace-out events.jsonl
 //	upaquery -list
+//
+// With -metrics-addr the run serves live Prometheus text-format metrics at
+// /metrics (plus /metrics.json, /debug/vars, and /debug/pprof/) while it is
+// in progress; with -trace-out every typed engine event (arrivals,
+// emissions, retractions, window expirations, maintenance passes) is
+// written as JSON Lines.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
 	"repro/internal/bench"
 	"repro/internal/cql"
 	"repro/internal/exec"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/trace"
 )
@@ -46,22 +55,33 @@ func main() {
 	duration := flag.Int64("duration", 0, "trace duration in time units (default 2x window)")
 	traceFile := flag.String("trace", "", "CSV trace file (default: generate synthetically)")
 	partitions := flag.Int("partitions", 10, "state-buffer partitions")
+	metricsAddr := flag.String("metrics-addr", "", "serve live metrics/pprof on this address (e.g. :9090)")
+	traceOut := flag.String("trace-out", "", "write typed engine events as JSON Lines to this file")
+	progressEvery := flag.Duration("progress", time.Second, "progress-line interval (0 disables)")
 	list := flag.Bool("list", false, "list query names and exit")
 	flag.Parse()
 
 	if *list {
-		for name, q := range queryNames {
+		names := make([]string, 0, len(queryNames))
+		for name := range queryNames {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			q := queryNames[name]
 			fmt.Printf("%-12s %s (%d links)\n", name, q, q.Links())
 		}
 		return
 	}
-	if err := run(*query, *cqlText, *links, *strategy, *windowSize, *duration, *traceFile, *partitions); err != nil {
+	if err := run(*query, *cqlText, *links, *strategy, *windowSize, *duration, *traceFile,
+		*partitions, *metricsAddr, *traceOut, *progressEvery); err != nil {
 		fmt.Fprintln(os.Stderr, "upaquery:", err)
 		os.Exit(1)
 	}
 }
 
-func run(queryName, cqlText string, cqlLinks int, strategyName string, windowSize, duration int64, traceFile string, partitions int) error {
+func run(queryName, cqlText string, cqlLinks int, strategyName string, windowSize, duration int64,
+	traceFile string, partitions int, metricsAddr, traceOut string, progressEvery time.Duration) error {
 	var q bench.Query
 	var root *plan.Node
 	nLinks := 0
@@ -117,7 +137,31 @@ func run(queryName, cqlText string, cqlLinks int, strategyName string, windowSiz
 	if lazy < 1 {
 		lazy = 1
 	}
-	eng, err := exec.New(phys, exec.Config{EagerInterval: 1, LazyInterval: lazy})
+	cfg := exec.Config{EagerInterval: 1, LazyInterval: lazy}
+
+	var reg *obs.Registry
+	if metricsAddr != "" {
+		reg = obs.NewRegistry()
+		cfg.Metrics = reg
+		srv, err := obs.Serve(metricsAddr, reg)
+		if err != nil {
+			return fmt.Errorf("metrics endpoint: %w", err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "serving metrics on http://%s/metrics (pprof at /debug/pprof/)\n", srv.Addr())
+	}
+	var tracer *obs.Tracer
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		tracer = obs.NewTracer(obs.NewJSONLSink(f))
+		cfg.Tracer = tracer
+	}
+
+	eng, err := exec.New(phys, cfg)
 	if err != nil {
 		return err
 	}
@@ -143,20 +187,32 @@ func run(queryName, cqlText string, cqlLinks int, strategyName string, windowSiz
 	}
 
 	start := time.Now()
-	for _, r := range recs {
+	prog := newProgress(start, progressEvery)
+	for i, r := range recs {
 		if r.Link >= nLinks {
 			return fmt.Errorf("trace record on link %d, but query reads %d links", r.Link, nLinks)
 		}
 		if err := eng.Push(r.Link, r.TS, r.Vals...); err != nil {
 			return err
 		}
+		prog.maybe(i+1, eng)
 	}
 	if err := eng.Sync(); err != nil {
 		return err
 	}
 	elapsed := time.Since(start)
+	if tracer != nil {
+		if err := tracer.Close(); err != nil {
+			return fmt.Errorf("trace sink: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote event trace to %s\n", traceOut)
+	}
 
 	st := eng.Stats()
+	if st.Arrivals == 0 {
+		fmt.Println("no tuples processed (empty trace)")
+		return nil
+	}
 	fmt.Printf("processed %d tuples in %v (%.3f ms per 1000 tuples)\n",
 		st.Arrivals, elapsed.Round(time.Millisecond),
 		float64(elapsed.Nanoseconds())/1e6/float64(st.Arrivals)*1000)
@@ -165,4 +221,37 @@ func run(queryName, cqlText string, cqlLinks int, strategyName string, windowSiz
 	fmt.Printf("current result size %d, peak stored tuples %d, tuple touches %d\n",
 		eng.View().Len(), st.MaxStateTuples, eng.Touched())
 	return nil
+}
+
+// progress prints a periodic line (tuples/s, clock, state, retraction rate)
+// to stderr during a run.
+type progress struct {
+	every time.Duration
+	start time.Time
+	next  time.Time
+}
+
+func newProgress(start time.Time, every time.Duration) *progress {
+	return &progress{every: every, start: start, next: start.Add(every)}
+}
+
+// maybe emits a progress line when the interval has elapsed. It checks the
+// wall clock only every 1024 tuples to keep the run loop cheap.
+func (p *progress) maybe(tuples int, eng *exec.Engine) {
+	if p.every <= 0 || tuples&1023 != 0 {
+		return
+	}
+	now := time.Now()
+	if now.Before(p.next) {
+		return
+	}
+	p.next = now.Add(p.every)
+	st := eng.Stats()
+	rate := float64(tuples) / now.Sub(p.start).Seconds()
+	retrRate := 0.0
+	if st.Arrivals > 0 {
+		retrRate = float64(st.Retracted) / float64(st.Arrivals)
+	}
+	fmt.Fprintf(os.Stderr, "progress: %d tuples (%.0f tuples/s), clock=%d, state=%d, emitted=%d, retracted=%d (%.3f/arrival)\n",
+		tuples, rate, eng.Clock(), eng.StateTuples(), st.Emitted, st.Retracted, retrRate)
 }

@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 
+	"repro/internal/exec"
 	"repro/internal/plan"
 )
 
@@ -90,9 +91,11 @@ func sweep(id, title string, q Query, variants []Variant, s Scale) ([]Table, err
 		Title:   title + " — peak stored tuples",
 		Columns: append([]string{"window"}, variantNames(variants)...),
 	}
+	var lastResults []Result // largest-window run per variant
 	for _, w := range windows {
 		timeRow := []string{fmt.Sprint(w)}
 		stateRow := []string{fmt.Sprint(w)}
+		lastResults = lastResults[:0]
 		for _, v := range variants {
 			res, err := Run(q, RunConfig{Strategy: v.Strat, Opts: v.Opts, Window: w})
 			if err != nil {
@@ -100,11 +103,47 @@ func sweep(id, title string, q Query, variants []Variant, s Scale) ([]Table, err
 			}
 			timeRow = append(timeRow, fmt.Sprintf("%.3f", res.MsPerK))
 			stateRow = append(stateRow, fmt.Sprint(res.MaxState))
+			lastResults = append(lastResults, res)
 		}
 		timeTab.Rows = append(timeTab.Rows, timeRow)
 		stateTab.Rows = append(stateTab.Rows, stateRow)
 	}
-	return []Table{timeTab, stateTab}, nil
+	metTab := metricsTable(id, title, windows[len(windows)-1], variants, lastResults)
+	return []Table{timeTab, stateTab, metTab}, nil
+}
+
+// metricsTable embeds each variant's end-of-run engine metric snapshot —
+// the registry-backed counters behind the run — for the sweep's largest
+// window, one metric per row.
+func metricsTable(id, title string, window int64, variants []Variant, results []Result) Table {
+	tab := Table{
+		ID:      id + "-metrics",
+		Title:   fmt.Sprintf("%s — engine metric snapshot (window %d)", title, window),
+		Columns: append([]string{"metric"}, variantNames(variants)...),
+		Notes:   "Counters from the engine's metrics registry at end of run (upaquery -metrics-addr exposes the same series live).",
+	}
+	rows := []struct{ label, name string }{
+		{"arrivals", exec.MetricArrivals},
+		{"emitted", exec.MetricEmitted},
+		{"retracted", exec.MetricRetracted},
+		{"window negatives", exec.MetricWindowNegatives},
+		{"eager passes", exec.MetricEagerPasses},
+		{"lazy passes", exec.MetricLazyPasses},
+		{"view rows expired", exec.MetricViewExpired},
+	}
+	for _, r := range rows {
+		row := []string{r.label}
+		for _, res := range results {
+			row = append(row, fmt.Sprint(res.Metrics.Counters[r.name]))
+		}
+		tab.Rows = append(tab.Rows, row)
+	}
+	peak := []string{"peak state tuples"}
+	for _, res := range results {
+		peak = append(peak, fmt.Sprint(res.Metrics.Gauges[exec.MetricStateTuplesPeak]))
+	}
+	tab.Rows = append(tab.Rows, peak)
+	return tab
 }
 
 func variantNames(vs []Variant) []string {

@@ -2,12 +2,32 @@ package bench
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/exec"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/trace"
 )
+
+// Live metric exposition for sequential experiment runs: every engine gets
+// its own registry (so per-run Stats stay isolated), and liveMetrics
+// points at the registry of the run currently in progress — the hook
+// upabench's -metrics-addr serves.
+var (
+	liveExpose  atomic.Bool
+	liveMetrics atomic.Pointer[obs.Registry]
+)
+
+// EnableLiveMetrics makes every subsequent Run allocate a registry and
+// publish it via LiveMetrics while the run is in progress.
+func EnableLiveMetrics() { liveExpose.Store(true) }
+
+// LiveMetrics returns the registry of the most recently started run (nil
+// before the first). Hand it to obs.ServeFunc for a live endpoint that
+// follows sequential experiment runs.
+func LiveMetrics() *obs.Registry { return liveMetrics.Load() }
 
 // RunConfig parameterizes one measured run.
 type RunConfig struct {
@@ -30,6 +50,12 @@ type RunConfig struct {
 	SrcSkew float64
 	// Seed makes the trace deterministic (default 42).
 	Seed int64
+	// Metrics, when set, receives the run's engine instruments so an
+	// exposition endpoint can scrape the run; nil keeps the engine's
+	// private registry (or a fresh one under EnableLiveMetrics).
+	Metrics *obs.Registry
+	// Tracer, when set, receives the run's typed engine events.
+	Tracer *obs.Tracer
 }
 
 func (rc RunConfig) withDefaults() RunConfig {
@@ -44,6 +70,12 @@ func (rc RunConfig) withDefaults() RunConfig {
 	}
 	if rc.Seed == 0 {
 		rc.Seed = 42
+	}
+	if rc.Metrics == nil && liveExpose.Load() {
+		rc.Metrics = obs.NewRegistry()
+	}
+	if rc.Metrics != nil {
+		liveMetrics.Store(rc.Metrics)
 	}
 	return rc
 }
@@ -67,6 +99,10 @@ type Result struct {
 	Emitted, Retracted, WindowNegatives int64
 	// FinalResults is the view size at the end of the run.
 	FinalResults int
+	// Metrics is the run's end-of-run metric snapshot (engine counters,
+	// gauges, and per-operator series) — the registry-backed view of the
+	// same measures, embedded in experiment report tables.
+	Metrics obs.Snapshot
 }
 
 // Run executes query q once under rc and reports the measurements.
@@ -84,7 +120,10 @@ func Run(q Query, rc RunConfig) (Result, error) {
 	if lazy < 1 {
 		lazy = 1
 	}
-	eng, err := exec.New(phys, exec.Config{EagerInterval: 1, LazyInterval: lazy})
+	eng, err := exec.New(phys, exec.Config{
+		EagerInterval: 1, LazyInterval: lazy,
+		Metrics: rc.Metrics, Tracer: rc.Tracer,
+	})
 	if err != nil {
 		return Result{}, fmt.Errorf("bench %v: %w", q, err)
 	}
@@ -134,5 +173,6 @@ func Run(q Query, rc RunConfig) (Result, error) {
 		Retracted:       st.Retracted,
 		WindowNegatives: st.WindowNegatives,
 		FinalResults:    eng.View().Len(),
+		Metrics:         eng.Metrics().Snapshot(),
 	}, nil
 }

@@ -1,0 +1,106 @@
+package exec
+
+import (
+	"strconv"
+
+	"repro/internal/obs"
+	"repro/internal/plan"
+)
+
+// Engine metric names. Counters carry the paper's cost measures
+// (Section 6.2: tuples processed, retraction volume, stored state) as live
+// series; gauges are sampled at the cadence documented on sampleState.
+const (
+	// MetricArrivals counts base-stream tuples pushed.
+	MetricArrivals = "upa_arrivals_total"
+	// MetricEmitted counts positive output-stream tuples.
+	MetricEmitted = "upa_emitted_total"
+	// MetricRetracted counts negative output-stream tuples.
+	MetricRetracted = "upa_retracted_total"
+	// MetricWindowNegatives counts the NT strategy's window-generated
+	// retractions.
+	MetricWindowNegatives = "upa_window_negatives_total"
+	// MetricEagerPasses counts eager maintenance passes (Section 2.3).
+	MetricEagerPasses = "upa_eager_passes_total"
+	// MetricLazyPasses counts lazy maintenance passes.
+	MetricLazyPasses = "upa_lazy_passes_total"
+	// MetricTableUpdates counts relation/NRR mutations applied.
+	MetricTableUpdates = "upa_table_updates_total"
+	// MetricViewExpired counts result rows retired by lazy view expiration.
+	MetricViewExpired = "upa_view_expired_total"
+	// MetricClock is the engine's logical time.
+	MetricClock = "upa_clock"
+	// MetricStateTuples is the sampled total of stored tuples (operator
+	// state + materialized windows + result view).
+	MetricStateTuples = "upa_state_tuples"
+	// MetricStateTuplesPeak is the high-water mark of MetricStateTuples.
+	MetricStateTuplesPeak = "upa_state_tuples_peak"
+	// MetricViewRows is the sampled result-view cardinality.
+	MetricViewRows = "upa_view_rows"
+	// MetricPushNanos is the per-Push wall-clock latency histogram,
+	// recorded only when Config.Metrics is set.
+	MetricPushNanos = "upa_push_nanos"
+	// MetricOpEmitted / MetricOpRetracted are per-operator output counts,
+	// labeled {op, node} where node is the operator's pre-order index in
+	// the plan (root = 0) — the series behind Profile().
+	MetricOpEmitted   = "upa_op_emitted_total"
+	MetricOpRetracted = "upa_op_retracted_total"
+)
+
+// engineMetrics bundles the engine's registered instruments. The registry
+// is the single source of truth: Stats() and Profile() read these same
+// counters.
+type engineMetrics struct {
+	arrivals, emitted, retracted, windowNegatives    *obs.Counter
+	eagerPasses, lazyPasses, tableUpdates, viewExpired *obs.Counter
+	clock, stateTuples, maxStateTuples, viewRows     *obs.Gauge
+	pushNanos                                        *obs.Histogram
+}
+
+func newEngineMetrics(reg *obs.Registry) engineMetrics {
+	return engineMetrics{
+		arrivals:        reg.Counter(MetricArrivals, "base-stream tuples pushed", nil),
+		emitted:         reg.Counter(MetricEmitted, "positive output-stream tuples", nil),
+		retracted:       reg.Counter(MetricRetracted, "negative output-stream tuples", nil),
+		windowNegatives: reg.Counter(MetricWindowNegatives, "window-generated retractions (NT strategy)", nil),
+		eagerPasses:     reg.Counter(MetricEagerPasses, "eager maintenance passes", nil),
+		lazyPasses:      reg.Counter(MetricLazyPasses, "lazy maintenance passes", nil),
+		tableUpdates:    reg.Counter(MetricTableUpdates, "table updates applied", nil),
+		viewExpired:     reg.Counter(MetricViewExpired, "result rows retired by view expiration", nil),
+		clock:           reg.Gauge(MetricClock, "engine logical time", nil),
+		stateTuples:     reg.Gauge(MetricStateTuples, "stored tuples (sampled)", nil),
+		maxStateTuples:  reg.Gauge(MetricStateTuplesPeak, "peak stored tuples", nil),
+		viewRows:        reg.Gauge(MetricViewRows, "result view cardinality (sampled)", nil),
+		pushNanos:       reg.Histogram(MetricPushNanos, "Push wall-clock latency in nanoseconds", obs.DefaultLatencyBuckets(), nil),
+	}
+}
+
+// opCounters registers the per-operator emission series for every plan
+// node, labeled with the operator class and its pre-order index so the
+// exposition output lines up with Profile()'s tree order.
+func opCounters(reg *obs.Registry, root *plan.PNode) map[*plan.PNode]*emitStats {
+	out := make(map[*plan.PNode]*emitStats)
+	idx := 0
+	var walk func(n *plan.PNode)
+	walk = func(n *plan.PNode) {
+		if n == nil {
+			return
+		}
+		labels := obs.Labels{"op": n.Class.String(), "node": strconv.Itoa(idx)}
+		idx++
+		out[n] = &emitStats{
+			pos: reg.Counter(MetricOpEmitted, "per-operator emitted tuples", labels),
+			neg: reg.Counter(MetricOpRetracted, "per-operator retracted tuples", labels),
+		}
+		for _, c := range n.Inputs {
+			walk(c)
+		}
+	}
+	walk(root)
+	return out
+}
+
+// emitStats tracks per-node output counts, backed by registry counters.
+type emitStats struct {
+	pos, neg *obs.Counter
+}

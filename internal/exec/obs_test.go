@@ -1,0 +1,135 @@
+package exec
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/plan"
+	"repro/internal/tuple"
+)
+
+func TestEngineMetricsRegistry(t *testing.T) {
+	reg := obs.NewRegistry()
+	eng := buildEngine(t, simpleSelect(10), plan.NT, Config{Metrics: reg})
+	eng.Push(0, 1, tuple.Int(1), tuple.String_("a"), tuple.Int(1))
+	eng.Push(0, 2, tuple.Int(2), tuple.String_("a"), tuple.Int(1))
+	eng.Push(0, 30, tuple.Int(3), tuple.String_("a"), tuple.Int(1)) // expires both
+	if err := eng.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	st := eng.Stats()
+	snap := reg.Snapshot()
+	if snap.Counters[MetricArrivals] != st.Arrivals || st.Arrivals != 3 {
+		t.Errorf("arrivals: registry %d, stats %d", snap.Counters[MetricArrivals], st.Arrivals)
+	}
+	if snap.Counters[MetricEmitted] != st.Emitted || st.Emitted != 3 {
+		t.Errorf("emitted: registry %d, stats %d", snap.Counters[MetricEmitted], st.Emitted)
+	}
+	if snap.Counters[MetricRetracted] != st.Retracted || st.Retracted != 2 {
+		t.Errorf("retracted: registry %d, stats %d", snap.Counters[MetricRetracted], st.Retracted)
+	}
+	if snap.Counters[MetricWindowNegatives] != 2 {
+		t.Errorf("window negatives: %d", snap.Counters[MetricWindowNegatives])
+	}
+	if snap.Gauges[MetricClock] != 30 {
+		t.Errorf("clock gauge: %d", snap.Gauges[MetricClock])
+	}
+	if snap.Gauges[MetricStateTuplesPeak] < 1 {
+		t.Errorf("peak state gauge: %d", snap.Gauges[MetricStateTuplesPeak])
+	}
+	// Wall-clock Push timing is on because a registry was supplied.
+	if h := snap.Histograms[MetricPushNanos]; h.Count != 3 {
+		t.Errorf("push histogram count: %d", h.Count)
+	}
+	// The same registry renders as Prometheus text.
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "upa_arrivals_total 3") {
+		t.Errorf("prometheus text missing arrivals:\n%s", b.String())
+	}
+}
+
+func TestEngineMetricsAccessor(t *testing.T) {
+	eng := buildEngine(t, simpleSelect(10), plan.UPA, Config{})
+	if eng.Metrics() == nil {
+		t.Fatal("engine without Config.Metrics must still expose its private registry")
+	}
+	eng.Push(0, 1, tuple.Int(1), tuple.String_("a"), tuple.Int(1))
+	if got := eng.Metrics().Snapshot().Counters[MetricArrivals]; got != 1 {
+		t.Errorf("private registry arrivals = %d", got)
+	}
+	reg := obs.NewRegistry()
+	eng2 := buildEngine(t, simpleSelect(10), plan.UPA, Config{Metrics: reg})
+	if eng2.Metrics() != reg {
+		t.Error("engine must expose the supplied registry")
+	}
+}
+
+func TestEngineTraceEventsEndToEnd(t *testing.T) {
+	// Under NT, one short run must produce typed arrival, emission,
+	// window-expiration, and retraction events in sequence order.
+	ring := obs.NewRingSink(256)
+	var jsonl strings.Builder
+	tr := obs.NewTracer(ring, obs.NewJSONLSink(&jsonl))
+	eng := buildEngine(t, simpleSelect(10), plan.NT, Config{Tracer: tr})
+	eng.Push(0, 1, tuple.Int(7), tuple.String_("ftp"), tuple.Int(1))
+	eng.Push(0, 30, tuple.Int(8), tuple.String_("ftp"), tuple.Int(1))
+	if err := eng.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	counts := map[obs.EventKind]int{}
+	var lastSeq uint64
+	for _, ev := range ring.Events() {
+		counts[ev.Kind]++
+		if ev.Seq <= lastSeq {
+			t.Fatalf("sequence not increasing: %+v after %d", ev, lastSeq)
+		}
+		lastSeq = ev.Seq
+	}
+	if counts[obs.EvArrival] != 2 {
+		t.Errorf("arrival events: %d", counts[obs.EvArrival])
+	}
+	if counts[obs.EvEmit] != 2 {
+		t.Errorf("emit events: %d", counts[obs.EvEmit])
+	}
+	if counts[obs.EvWindowExpire] != 1 || counts[obs.EvRetract] != 1 {
+		t.Errorf("expire/retract events: %d/%d", counts[obs.EvWindowExpire], counts[obs.EvRetract])
+	}
+	// The JSONL sink saw the same stream, one object per line.
+	lines := strings.Split(strings.TrimRight(jsonl.String(), "\n"), "\n")
+	if len(lines) != len(ring.Events()) {
+		t.Errorf("jsonl lines %d != ring events %d", len(lines), len(ring.Events()))
+	}
+	for _, l := range lines {
+		if !strings.HasPrefix(l, `{"seq":`) {
+			t.Fatalf("bad jsonl line: %q", l)
+		}
+	}
+}
+
+func TestMaxStateTuplesShortRun(t *testing.T) {
+	// Regression: state used to be sampled only every 64 arrivals, so runs
+	// shorter than that reported a peak of 0.
+	eng := buildEngine(t, simpleSelect(100), plan.UPA, Config{})
+	for i := int64(1); i <= 3; i++ {
+		if err := eng.Push(0, i, tuple.Int(i), tuple.String_("a"), tuple.Int(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := eng.Stats(); st.MaxStateTuples < 1 {
+		t.Fatalf("short run reports peak state %d, want >= 1", st.MaxStateTuples)
+	}
+	// Sync must also refresh the peak.
+	if err := eng.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if st := eng.Stats(); st.MaxStateTuples < 3 {
+		t.Errorf("post-Sync peak = %d, want >= 3 (view holds 3 rows)", st.MaxStateTuples)
+	}
+}

@@ -43,8 +43,8 @@ func (e *Engine) Profile() []OpProfile {
 			Depth:       depth,
 			StateTuples: n.Op.StateSize(),
 			Touched:     n.Op.Touched(),
-			Emitted:     em.pos,
-			Retracted:   em.neg,
+			Emitted:     em.pos.Value(),
+			Retracted:   em.neg.Value(),
 		})
 		for _, c := range n.Inputs {
 			walk(c, depth+1)
@@ -75,7 +75,3 @@ func (e *Engine) WriteProfile(w io.Writer) error {
 	return nil
 }
 
-// emitStats tracks per-node output counts.
-type emitStats struct {
-	pos, neg int64
-}

@@ -1,0 +1,123 @@
+package exec
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/operator"
+	"repro/internal/plan"
+	"repro/internal/tuple"
+	"repro/internal/window"
+)
+
+// joinOfSelects builds select(join(select(S0), select(S1))) — three levels,
+// so the pre-order contract of Profile is observable.
+func joinOfSelects(windowSize int64) *plan.Node {
+	a := plan.NewSelect(plan.NewSource(0, window.Spec{Type: window.TimeBased, Size: windowSize}, linkSchema()), operator.True{})
+	b := plan.NewSelect(plan.NewSource(1, window.Spec{Type: window.TimeBased, Size: windowSize}, linkSchema()), operator.True{})
+	return plan.NewJoin(a, b, []int{0}, []int{0})
+}
+
+func TestProfilePreOrderShape(t *testing.T) {
+	eng := buildEngine(t, joinOfSelects(50), plan.UPA, Config{})
+	// Two matching arrivals produce one join result.
+	if err := eng.Push(0, 1, tuple.Int(7), tuple.String_("ftp"), tuple.Int(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Push(1, 2, tuple.Int(7), tuple.String_("ftp"), tuple.Int(1)); err != nil {
+		t.Fatal(err)
+	}
+	profs := eng.Profile()
+	if len(profs) != 3 {
+		t.Fatalf("got %d profiles, want 3: %+v", len(profs), profs)
+	}
+	// Pre-order: root join at depth 0, then the two selects at depth 1.
+	if profs[0].Class != "join" || profs[0].Depth != 0 {
+		t.Fatalf("root profile: %+v", profs[0])
+	}
+	for i := 1; i <= 2; i++ {
+		if profs[i].Class != "select" || profs[i].Depth != 1 {
+			t.Fatalf("child profile %d: %+v", i, profs[i])
+		}
+	}
+	// Each select forwarded its one arrival; the join emitted one result.
+	if profs[0].Emitted != 1 || profs[0].Retracted != 0 {
+		t.Errorf("join counts: %+v", profs[0])
+	}
+	if profs[1].Emitted != 1 || profs[2].Emitted != 1 {
+		t.Errorf("select counts: %+v %+v", profs[1], profs[2])
+	}
+}
+
+func TestProfileCountsRetractions(t *testing.T) {
+	// Under NT a window expiration travels the plan as a negative tuple, so
+	// every edge's retraction counter must tick.
+	eng := buildEngine(t, simpleSelect(10), plan.NT, Config{})
+	eng.Push(0, 1, tuple.Int(1), tuple.String_("a"), tuple.Int(1))
+	eng.Push(0, 30, tuple.Int(2), tuple.String_("a"), tuple.Int(1)) // expires the first
+	if err := eng.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	profs := eng.Profile()
+	if len(profs) != 1 || profs[0].Class != "select" {
+		t.Fatalf("profiles: %+v", profs)
+	}
+	if profs[0].Emitted != 2 || profs[0].Retracted != 1 {
+		t.Errorf("select profile: %+v", profs[0])
+	}
+}
+
+func TestProfileBackedByRegistry(t *testing.T) {
+	reg := obs.NewRegistry()
+	eng := buildEngine(t, joinOfSelects(50), plan.UPA, Config{Metrics: reg})
+	eng.Push(0, 1, tuple.Int(7), tuple.String_("ftp"), tuple.Int(1))
+	eng.Push(1, 2, tuple.Int(7), tuple.String_("ftp"), tuple.Int(1))
+	snap := reg.Snapshot()
+	// Node 0 is the pre-order root (the join).
+	if got := snap.Counters[`upa_op_emitted_total{node="0",op="join"}`]; got != 1 {
+		t.Fatalf("registry join counter = %d; counters: %v", got, snap.Counters)
+	}
+	// Profile must read the same counters.
+	if profs := eng.Profile(); profs[0].Emitted != 1 {
+		t.Fatalf("profile disagrees with registry: %+v", profs[0])
+	}
+}
+
+func TestWriteProfileRendering(t *testing.T) {
+	eng := buildEngine(t, joinOfSelects(50), plan.UPA, Config{})
+	eng.Push(0, 1, tuple.Int(7), tuple.String_("ftp"), tuple.Int(1))
+	var buf bytes.Buffer
+	if err := eng.WriteProfile(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 4 { // header + 3 operators
+		t.Fatalf("got %d lines:\n%s", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[0], "operator") || !strings.Contains(lines[0], "retracted") {
+		t.Errorf("header: %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "join") {
+		t.Errorf("root row: %q", lines[1])
+	}
+	// Children are indented two spaces per depth level.
+	if !strings.HasPrefix(lines[2], "  select") || !strings.HasPrefix(lines[3], "  select") {
+		t.Errorf("child rows: %q / %q", lines[2], lines[3])
+	}
+}
+
+func TestWriteProfileBareWindow(t *testing.T) {
+	bare := buildEngine(t, plan.NewSource(0, window.Spec{Type: window.TimeBased, Size: 10}, linkSchema()), plan.UPA, Config{})
+	var buf bytes.Buffer
+	if err := bare.WriteProfile(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != "(bare window plan: no operators)\n" {
+		t.Errorf("bare-window rendering: %q", got)
+	}
+	if profs := bare.Profile(); len(profs) != 0 {
+		t.Errorf("bare-window profiles: %+v", profs)
+	}
+}

@@ -21,10 +21,11 @@ type View interface {
 	// Apply folds one output-stream tuple into the view: positive tuples
 	// insert (or replace, for keyed views), negative tuples delete.
 	Apply(t tuple.Tuple)
-	// ExpireUpTo retires results whose exp timestamps are due. Views under
-	// the negative-tuple strategy are retired exclusively by retractions
-	// and implement this as a no-op.
-	ExpireUpTo(now int64)
+	// ExpireUpTo retires results whose exp timestamps are due and returns
+	// how many rows were removed. Views under the negative-tuple strategy
+	// are retired exclusively by retractions and implement this as a no-op
+	// returning 0.
+	ExpireUpTo(now int64) int
 	// Len returns the current result count.
 	Len() int
 	// Snapshot returns the current result multiset (order unspecified).
@@ -84,10 +85,11 @@ func (v *bufferView) Apply(t tuple.Tuple) {
 	v.buf.Insert(t)
 }
 
-func (v *bufferView) ExpireUpTo(now int64) {
+func (v *bufferView) ExpireUpTo(now int64) int {
 	if v.timeExpiry {
-		v.buf.ExpireUpTo(now)
+		return len(v.buf.ExpireUpTo(now))
 	}
+	return 0
 }
 
 func (v *bufferView) Len() int { return v.buf.Len() }
@@ -130,7 +132,7 @@ func (v *keyedView) Apply(t tuple.Tuple) {
 	v.rows[k] = t
 }
 
-func (v *keyedView) ExpireUpTo(int64) {} // rows die by replacement only
+func (v *keyedView) ExpireUpTo(int64) int { return 0 } // rows die by replacement only
 
 func (v *keyedView) Len() int { return len(v.rows) }
 
@@ -177,7 +179,7 @@ func (v *appendView) Apply(t tuple.Tuple) {
 	}
 }
 
-func (v *appendView) ExpireUpTo(int64) {}
+func (v *appendView) ExpireUpTo(int64) int { return 0 }
 
 func (v *appendView) Len() int { return int(v.total) }
 

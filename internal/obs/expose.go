@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// Handler serves the registry over HTTP:
+//
+//	/metrics        Prometheus text exposition format
+//	/metrics.json   JSON snapshot of every metric
+//	/debug/vars     expvar (includes the registry, published once)
+//	/debug/pprof/*  runtime profiling
+//
+// The handler reads the registry with atomic loads only, so it is safe to
+// scrape while an engine is mid-run.
+func Handler(reg *Registry) http.Handler {
+	return HandlerFunc(func() *Registry { return reg })
+}
+
+// HandlerFunc is Handler over a dynamic registry source — get is invoked
+// per request, so a driver running engines sequentially (each with its own
+// registry) can expose whichever run is currently in progress. get may
+// return nil (served as an empty registry).
+func HandlerFunc(get func() *Registry) http.Handler {
+	publishExpvar("upa_metrics", get)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = get().WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = get().WriteJSON(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "upa observability endpoint\n\n/metrics\n/metrics.json\n/debug/vars\n/debug/pprof/\n")
+	})
+	return mux
+}
+
+var expvarMu sync.Mutex
+
+// publishExpvar publishes the registry snapshot under name, tolerating
+// repeated calls (expvar.Publish panics on duplicates).
+func publishExpvar(name string, get func() *Registry) {
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return get().Snapshot() }))
+}
+
+// Server is a running exposition endpoint.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// Serve binds addr (e.g. ":9090") and serves Handler(reg) in a background
+// goroutine until Close.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	return ServeFunc(addr, func() *Registry { return reg })
+}
+
+// ServeFunc is Serve over a dynamic registry source (see HandlerFunc).
+func ServeFunc(addr string, get func() *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: HandlerFunc(get), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return &Server{ln: ln, srv: srv}, nil
+}

@@ -1,0 +1,414 @@
+// Package obs is the engine's observability layer: a dependency-free
+// metrics registry (atomic counters, gauges, and fixed-bucket histograms),
+// a structured event tracer with pluggable sinks, and exposition in
+// Prometheus text format and JSON — the instrumentation backbone that turns
+// the paper's end-of-run aggregates (tuple touches, retraction volume,
+// stored state) into live, continuously observable series.
+//
+// Everything is nil-safe: methods on a nil *Counter, *Gauge, *Histogram,
+// *Registry, or *Tracer are no-ops, so instrumented code pays one nil check
+// (no atomics, no allocation) when observability is disabled.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n (n < 0 is ignored; counters never
+// regress). Safe on nil.
+func (c *Counter) Add(n int64) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one. Safe on nil.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Value returns the current count. Safe on nil (returns 0).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value (state sizes, clocks, high-water
+// marks).
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v. Safe on nil.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adjusts the gauge by delta. Safe on nil.
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// SetMax raises the gauge to v if v is larger (high-water marks). Safe on
+// nil.
+func (g *Gauge) SetMax(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current value. Safe on nil (returns 0).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket cumulative histogram (Prometheus semantics:
+// bucket i counts observations <= Buckets[i], plus an implicit +Inf
+// bucket). Buckets are chosen at registration and never reallocated, so
+// Observe is a branchless-ish scan plus two atomic adds.
+type Histogram struct {
+	bounds []int64 // ascending upper bounds
+	counts []atomic.Int64
+	inf    atomic.Int64
+	sum    atomic.Int64
+	n      atomic.Int64
+}
+
+// NewHistogram builds a standalone histogram with the given ascending
+// bucket upper bounds.
+func NewHistogram(bounds []int64) *Histogram {
+	b := append([]int64(nil), bounds...)
+	sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b))}
+}
+
+// DefaultLatencyBuckets covers 100ns..100ms in roughly decade steps —
+// suitable for per-tuple processing latency in nanoseconds.
+func DefaultLatencyBuckets() []int64 {
+	return []int64{100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000,
+		100_000, 250_000, 500_000, 1_000_000, 10_000_000, 100_000_000}
+}
+
+// Observe records one value. Safe on nil.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.sum.Add(v)
+	h.n.Add(1)
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i].Add(1)
+			return
+		}
+	}
+	h.inf.Add(1)
+}
+
+// Count returns the number of observations. Safe on nil.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.n.Load()
+}
+
+// Sum returns the sum of observed values. Safe on nil.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram.
+type HistogramSnapshot struct {
+	// Bounds are the bucket upper bounds; Counts[i] observations fell in
+	// (Bounds[i-1], Bounds[i]]. Inf counts observations above the last
+	// bound.
+	Bounds []int64 `json:"bounds"`
+	Counts []int64 `json:"counts"`
+	Inf    int64   `json:"inf"`
+	Sum    int64   `json:"sum"`
+	Count  int64   `json:"count"`
+}
+
+// Snapshot copies the histogram's current state. Safe on nil.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Bounds: append([]int64(nil), h.bounds...),
+		Counts: make([]int64, len(h.counts)),
+		Inf:    h.inf.Load(),
+		Sum:    h.sum.Load(),
+		Count:  h.n.Load(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Labels are constant metric dimensions, e.g. {"op": "join", "node": "1"}.
+type Labels map[string]string
+
+// render serializes labels deterministically as {a="x",b="y"} (empty for
+// no labels), which doubles as the registry key suffix.
+func (l Labels) render() string {
+	if len(l) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(l))
+	for k := range l {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, l[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return "untyped"
+	}
+}
+
+// metric is one registered series (a name + one label set).
+type metric struct {
+	name   string
+	labels string // rendered label suffix, "" when unlabeled
+	help   string
+	kind   metricKind
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// Registry holds named metrics. Registration is idempotent: asking for the
+// same (name, labels) twice returns the same instrument, so engines and
+// their exposition endpoint can share a registry freely. A nil *Registry
+// is a valid "disabled" registry: every constructor returns nil
+// instruments whose methods are no-ops.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []*metric
+	index   map[string]*metric
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{index: make(map[string]*metric)}
+}
+
+func (r *Registry) lookup(name string, labels Labels, kind metricKind, help string) *metric {
+	key := name + labels.render()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.index[key]; ok {
+		return m
+	}
+	m := &metric{name: name, labels: labels.render(), help: help, kind: kind}
+	switch kind {
+	case kindCounter:
+		m.c = &Counter{}
+	case kindGauge:
+		m.g = &Gauge{}
+	}
+	r.metrics = append(r.metrics, m)
+	r.index[key] = m
+	return m
+}
+
+// Counter registers (or retrieves) a counter. Safe on nil (returns nil).
+func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, labels, kindCounter, help).c
+}
+
+// Gauge registers (or retrieves) a gauge. Safe on nil (returns nil).
+func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, labels, kindGauge, help).g
+}
+
+// Histogram registers (or retrieves) a fixed-bucket histogram. Safe on nil
+// (returns nil). The bounds of the first registration win.
+func (r *Registry) Histogram(name, help string, bounds []int64, labels Labels) *Histogram {
+	if r == nil {
+		return nil
+	}
+	m := r.lookup(name, labels, kindHistogram, help)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m.h == nil {
+		m.h = NewHistogram(bounds)
+	}
+	return m.h
+}
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4). Safe on nil (writes nothing).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	metrics := append([]*metric(nil), r.metrics...)
+	r.mu.Unlock()
+	seen := map[string]bool{}
+	for _, m := range metrics {
+		if !seen[m.name] {
+			seen[m.name] = true
+			if m.help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.name, m.help); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.name, m.kind); err != nil {
+				return err
+			}
+		}
+		var err error
+		switch m.kind {
+		case kindCounter:
+			_, err = fmt.Fprintf(w, "%s%s %d\n", m.name, m.labels, m.c.Value())
+		case kindGauge:
+			_, err = fmt.Fprintf(w, "%s%s %d\n", m.name, m.labels, m.g.Value())
+		case kindHistogram:
+			err = writePromHistogram(w, m)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writePromHistogram(w io.Writer, m *metric) error {
+	s := m.h.Snapshot()
+	cum := int64(0)
+	for i, b := range s.Bounds {
+		cum += s.Counts[i]
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", m.name, mergeLabel(m.labels, fmt.Sprintf(`le="%d"`, b)), cum); err != nil {
+			return err
+		}
+	}
+	cum += s.Inf
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", m.name, mergeLabel(m.labels, `le="+Inf"`), cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %d\n", m.name, m.labels, s.Sum); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", m.name, m.labels, s.Count)
+	return err
+}
+
+// mergeLabel splices an extra label pair into an already-rendered label
+// set.
+func mergeLabel(rendered, extra string) string {
+	if rendered == "" {
+		return "{" + extra + "}"
+	}
+	return rendered[:len(rendered)-1] + "," + extra + "}"
+}
+
+// Snapshot is a point-in-time copy of a whole registry, keyed by
+// name{labels}.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot copies every metric's current value. Safe on nil (returns an
+// empty snapshot).
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	metrics := append([]*metric(nil), r.metrics...)
+	r.mu.Unlock()
+	for _, m := range metrics {
+		key := m.name + m.labels
+		switch m.kind {
+		case kindCounter:
+			s.Counters[key] = m.c.Value()
+		case kindGauge:
+			s.Gauges[key] = m.g.Value()
+		case kindHistogram:
+			s.Histograms[key] = m.h.Snapshot()
+		}
+	}
+	return s
+}
+
+// WriteJSON renders the snapshot as indented JSON. Safe on nil.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}

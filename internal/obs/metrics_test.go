@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilInstrumentsAreNoOps(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatalf("nil counter value = %d", c.Value())
+	}
+	var g *Gauge
+	g.Set(7)
+	g.Add(1)
+	g.SetMax(9)
+	if g.Value() != 0 {
+		t.Fatalf("nil gauge value = %d", g.Value())
+	}
+	var h *Histogram
+	h.Observe(3)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil histogram recorded")
+	}
+	var r *Registry
+	if r.Counter("x", "", nil) != nil || r.Gauge("x", "", nil) != nil ||
+		r.Histogram("x", "", nil, nil) != nil {
+		t.Fatal("nil registry returned live instruments")
+	}
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	if s := r.Snapshot(); len(s.Counters) != 0 {
+		t.Fatal("nil registry snapshot non-empty")
+	}
+}
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("upa_test_total", "help", nil)
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: counters are monotonic
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	if again := r.Counter("upa_test_total", "help", nil); again != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+	g := r.Gauge("upa_test_gauge", "", nil)
+	g.Set(10)
+	g.SetMax(3) // lower: ignored
+	g.SetMax(12)
+	g.Add(-2)
+	if g.Value() != 10 {
+		t.Fatalf("gauge = %d, want 10", g.Value())
+	}
+}
+
+func TestLabeledSeriesAreDistinct(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("upa_op_emitted_total", "", Labels{"op": "join", "node": "1"})
+	b := r.Counter("upa_op_emitted_total", "", Labels{"op": "distinct", "node": "2"})
+	if a == b {
+		t.Fatal("different label sets shared a counter")
+	}
+	a.Add(2)
+	b.Inc()
+	snap := r.Snapshot()
+	if snap.Counters[`upa_op_emitted_total{node="1",op="join"}`] != 2 {
+		t.Fatalf("snapshot = %v", snap.Counters)
+	}
+	if snap.Counters[`upa_op_emitted_total{node="2",op="distinct"}`] != 1 {
+		t.Fatalf("snapshot = %v", snap.Counters)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]int64{10, 100, 1000})
+	for _, v := range []int64{5, 10, 11, 500, 5000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	want := []int64{2, 1, 1} // <=10: {5,10}; (10,100]: {11}; (100,1000]: {500}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (snapshot %+v)", i, s.Counts[i], w, s)
+		}
+	}
+	if s.Inf != 1 || s.Count != 5 || s.Sum != 5+10+11+500+5000 {
+		t.Fatalf("snapshot %+v", s)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("upa_arrivals_total", "base-stream tuples pushed", nil).Add(42)
+	r.Gauge("upa_state_tuples", "stored tuples", nil).Set(17)
+	r.Counter("upa_op_emitted_total", "per-operator emissions", Labels{"op": "join"}).Add(3)
+	r.Histogram("upa_push_nanos", "push latency", []int64{100, 1000}, nil).Observe(150)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP upa_arrivals_total base-stream tuples pushed",
+		"# TYPE upa_arrivals_total counter",
+		"upa_arrivals_total 42",
+		"# TYPE upa_state_tuples gauge",
+		"upa_state_tuples 17",
+		`upa_op_emitted_total{op="join"} 3`,
+		"# TYPE upa_push_nanos histogram",
+		`upa_push_nanos_bucket{le="100"} 0`,
+		`upa_push_nanos_bucket{le="1000"} 1`,
+		`upa_push_nanos_bucket{le="+Inf"} 1`,
+		"upa_push_nanos_sum 150",
+		"upa_push_nanos_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("upa_shared_total", "", nil).Inc()
+				r.Gauge("upa_shared_gauge", "", nil).SetMax(int64(j))
+				r.Histogram("upa_shared_hist", "", []int64{10}, nil).Observe(int64(j % 20))
+			}
+		}()
+	}
+	wg.Wait()
+	if v := r.Counter("upa_shared_total", "", nil).Value(); v != 8000 {
+		t.Fatalf("counter = %d, want 8000", v)
+	}
+	if h := r.Histogram("upa_shared_hist", "", []int64{10}, nil); h.Count() != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", h.Count())
+	}
+}

@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestNilTracer(t *testing.T) {
+	var tr *Tracer
+	if tr.Active() || tr.Wants(EvEmit) {
+		t.Fatal("nil tracer reports active")
+	}
+	tr.Emit(Event{Kind: EvEmit}) // must not panic
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJSONLSinkRoundTrip(t *testing.T) {
+	var b strings.Builder
+	tr := NewTracer(NewJSONLSink(&b))
+	if !tr.Active() {
+		t.Fatal("tracer with sink not active")
+	}
+	tr.Emit(Event{Kind: EvArrival, TS: 5, Stream: 1})
+	tr.Emit(Event{Kind: EvEmit, TS: 5, Tuple: "[7 ftp]"})
+	tr.Emit(Event{Kind: EvRetract, TS: 9, Tuple: "[7 ftp]"})
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var events []Event
+	sc := bufio.NewScanner(strings.NewReader(b.String()))
+	for sc.Scan() {
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		events = append(events, ev)
+	}
+	if len(events) != 3 {
+		t.Fatalf("got %d events, want 3", len(events))
+	}
+	if events[0].Kind != EvArrival || events[0].Stream != 1 || events[0].Seq != 1 {
+		t.Fatalf("event 0 = %+v", events[0])
+	}
+	if events[1].Kind != EvEmit || events[1].Tuple != "[7 ftp]" {
+		t.Fatalf("event 1 = %+v", events[1])
+	}
+	if events[2].Kind != EvRetract || events[2].Seq != 3 {
+		t.Fatalf("event 2 = %+v", events[2])
+	}
+}
+
+func TestEventKindJSONNames(t *testing.T) {
+	b, err := json.Marshal(EvWindowExpire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != `"window_expire"` {
+		t.Fatalf("marshal = %s", b)
+	}
+	var k EventKind
+	if err := json.Unmarshal([]byte(`"lazy_pass"`), &k); err != nil || k != EvLazyPass {
+		t.Fatalf("unmarshal = %v, %v", k, err)
+	}
+	if err := json.Unmarshal([]byte(`"bogus"`), &k); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestTracerOnly(t *testing.T) {
+	ring := NewRingSink(8)
+	tr := NewTracer(ring).Only(EvRetract)
+	tr.Emit(Event{Kind: EvEmit})
+	tr.Emit(Event{Kind: EvRetract})
+	evs := ring.Events()
+	if len(evs) != 1 || evs[0].Kind != EvRetract {
+		t.Fatalf("filtered events = %+v", evs)
+	}
+}
+
+func TestRingSinkWraps(t *testing.T) {
+	ring := NewRingSink(3)
+	for i := 1; i <= 5; i++ {
+		ring.Emit(Event{TS: int64(i)})
+	}
+	evs := ring.Events()
+	if len(evs) != 3 || evs[0].TS != 3 || evs[2].TS != 5 {
+		t.Fatalf("ring events = %+v", evs)
+	}
+	if ring.Dropped() != 2 {
+		t.Fatalf("dropped = %d, want 2", ring.Dropped())
+	}
+}
+
+func TestServeExposition(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("upa_arrivals_total", "arrivals", nil).Add(9)
+	srv, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) string {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+	if out := get("/metrics"); !strings.Contains(out, "upa_arrivals_total 9") {
+		t.Fatalf("/metrics = %q", out)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(get("/metrics.json")), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["upa_arrivals_total"] != 9 {
+		t.Fatalf("/metrics.json = %+v", snap)
+	}
+	if out := get("/debug/vars"); !strings.Contains(out, "upa_metrics") {
+		t.Fatalf("/debug/vars missing registry: %q", out)
+	}
+	if out := get("/debug/pprof/"); !strings.Contains(out, "profile") {
+		t.Fatalf("/debug/pprof/ = %q", out)
+	}
+}

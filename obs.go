@@ -1,0 +1,92 @@
+package repro
+
+import (
+	"io"
+	"net/http"
+
+	"repro/internal/obs"
+)
+
+// Observability re-exports: the metrics registry, typed event tracer, and
+// exposition endpoint of internal/obs, attachable to a compiled query via
+// WithMetrics and WithTracer. Both are off by default; a disabled engine
+// pays one nil check per trace site and atomic counter adds only.
+type (
+	// MetricsRegistry holds named counters, gauges, and histograms; an
+	// engine compiled WithMetrics registers its instruments here (see the
+	// upa_* series in DESIGN.md) and enables per-Push latency sampling.
+	MetricsRegistry = obs.Registry
+	// MetricsSnapshot is a point-in-time copy of a registry.
+	MetricsSnapshot = obs.Snapshot
+	// Tracer fans typed engine events out to sinks.
+	Tracer = obs.Tracer
+	// TraceEvent is one typed engine event.
+	TraceEvent = obs.Event
+	// TraceEventKind classifies a TraceEvent.
+	TraceEventKind = obs.EventKind
+	// TraceSink receives every traced event.
+	TraceSink = obs.Sink
+	// RingSink keeps the last N events in memory.
+	RingSink = obs.RingSink
+	// MetricsServer is a running HTTP exposition endpoint.
+	MetricsServer = obs.Server
+)
+
+// Trace event kinds.
+const (
+	// EvArrival is one base-stream tuple admitted.
+	EvArrival = obs.EvArrival
+	// EvEmit is one positive output-stream tuple.
+	EvEmit = obs.EvEmit
+	// EvRetract is one negative output-stream tuple.
+	EvRetract = obs.EvRetract
+	// EvWindowExpire is one window-generated negative tuple (NT strategy).
+	EvWindowExpire = obs.EvWindowExpire
+	// EvViewExpire is one lazy result-view expiration pass.
+	EvViewExpire = obs.EvViewExpire
+	// EvTableUpdate is one table mutation routed through the plan.
+	EvTableUpdate = obs.EvTableUpdate
+	// EvEagerPass is one eager maintenance pass that moved tuples.
+	EvEagerPass = obs.EvEagerPass
+	// EvLazyPass is one lazy maintenance pass that moved tuples.
+	EvLazyPass = obs.EvLazyPass
+)
+
+// NewMetricsRegistry builds an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewTracer builds a tracer over the given sinks with every event kind
+// enabled; restrict with its Only method.
+func NewTracer(sinks ...TraceSink) *Tracer { return obs.NewTracer(sinks...) }
+
+// NewJSONLSink writes one JSON object per traced event to w (buffered;
+// Close flushes).
+func NewJSONLSink(w io.Writer) TraceSink { return obs.NewJSONLSink(w) }
+
+// NewRingSink keeps the most recent n events in memory.
+func NewRingSink(n int) *RingSink { return obs.NewRingSink(n) }
+
+// WithMetrics registers the compiled engine's instruments in reg and
+// enables wall-clock Push latency sampling.
+func WithMetrics(reg *MetricsRegistry) Option {
+	return func(c *compileCfg) { c.execCfg.Metrics = reg }
+}
+
+// WithTracer attaches a typed-event tracer to the compiled engine.
+func WithTracer(t *Tracer) Option {
+	return func(c *compileCfg) { c.execCfg.Tracer = t }
+}
+
+// MetricsHandler serves reg over HTTP: /metrics (Prometheus text format),
+// /metrics.json, /debug/vars (expvar), and /debug/pprof/.
+func MetricsHandler(reg *MetricsRegistry) http.Handler { return obs.Handler(reg) }
+
+// ServeMetrics binds addr (e.g. ":9090") and serves MetricsHandler in the
+// background until the returned server is closed.
+func ServeMetrics(addr string, reg *MetricsRegistry) (*MetricsServer, error) {
+	return obs.Serve(addr, reg)
+}
+
+// Metrics returns the registry backing the engine's counters (the one
+// given WithMetrics, or the engine's private registry).
+func (e *Engine) Metrics() *MetricsRegistry { return e.Engine.Metrics() }

@@ -1,0 +1,76 @@
+package repro_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+// TestPublicObservabilityHooks drives the exported WithMetrics/WithTracer
+// options end-to-end on a windowed join.
+func TestPublicObservabilityHooks(t *testing.T) {
+	schema := linkSchema()
+	left := repro.Stream(0, schema, repro.TimeWindow(10)).
+		Where(repro.Col("proto").EqStr("ftp"))
+	right := repro.Stream(1, schema, repro.TimeWindow(10)).
+		Where(repro.Col("proto").EqStr("ftp"))
+	q := left.JoinOn(right, "src")
+
+	reg := repro.NewMetricsRegistry()
+	ring := repro.NewRingSink(128)
+	var jsonl strings.Builder
+	tr := repro.NewTracer(ring, repro.NewJSONLSink(&jsonl))
+
+	eng, err := repro.Compile(q, repro.NT, repro.WithMetrics(reg), repro.WithTracer(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Metrics() != reg {
+		t.Fatal("engine must expose the supplied registry")
+	}
+	push := func(stream int, ts int64, src int64) {
+		t.Helper()
+		if err := eng.Push(stream, ts, repro.Int(src), repro.Str("ftp"), repro.Int(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	push(0, 1, 7)
+	push(1, 2, 7) // join result
+	push(0, 30, 9)
+	push(1, 31, 9) // first pair has expired and been retracted by now
+	if err := eng.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := reg.Snapshot()
+	if snap.Counters["upa_arrivals_total"] != 4 {
+		t.Errorf("arrivals = %d", snap.Counters["upa_arrivals_total"])
+	}
+	if snap.Counters["upa_emitted_total"] < 2 || snap.Counters["upa_retracted_total"] < 1 {
+		t.Errorf("emitted/retracted = %d/%d",
+			snap.Counters["upa_emitted_total"], snap.Counters["upa_retracted_total"])
+	}
+	kinds := map[repro.TraceEventKind]int{}
+	for _, ev := range ring.Events() {
+		kinds[ev.Kind]++
+	}
+	if kinds[repro.EvArrival] != 4 || kinds[repro.EvEmit] < 2 ||
+		kinds[repro.EvWindowExpire] < 1 || kinds[repro.EvRetract] < 1 {
+		t.Errorf("event kinds = %v", kinds)
+	}
+	if !strings.Contains(jsonl.String(), `"kind":"window_expire"`) {
+		t.Error("jsonl trace missing window_expire events")
+	}
+	// The same registry renders for exposition.
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "upa_arrivals_total 4") {
+		t.Errorf("prometheus text:\n%s", b.String())
+	}
+}
