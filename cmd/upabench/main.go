@@ -7,6 +7,7 @@
 //	upabench                 # run every experiment at quick scale
 //	upabench -scale full     # paper-scale window sweeps (slow)
 //	upabench -exp e1a,e3a    # run a subset
+//	upabench -json > out.json  # machine-readable results (see BENCH_PR2.json)
 //	upabench -metrics-addr :9090  # expose the in-progress run's metrics
 //	upabench -list           # list experiment ids
 package main
@@ -15,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"repro/internal/bench"
@@ -24,6 +26,9 @@ import (
 func main() {
 	scale := flag.String("scale", "quick", "experiment scale: quick or full")
 	exps := flag.String("exp", "", "comma-separated experiment ids (default: all)")
+	jsonOut := flag.Bool("json", false, "write results as one JSON report on stdout instead of text tables")
+	note := flag.String("note", "", "free-form caveat embedded in the -json report")
+	shardCounts := flag.String("shards", "", "comma-separated shard counts for the e9 sweep (default 1,2,4,8)")
 	metricsAddr := flag.String("metrics-addr", "", "serve the in-progress run's metrics/pprof on this address (e.g. :9090)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()
@@ -38,13 +43,33 @@ func main() {
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "serving metrics on http://%s/metrics (pprof at /debug/pprof/)\n", srv.Addr())
 	}
-	if err := run(*scale, *exps, *list); err != nil {
+	if *shardCounts != "" {
+		counts, err := parseCounts(*shardCounts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "upabench:", err)
+			os.Exit(1)
+		}
+		bench.SetShardSweep(counts)
+	}
+	if err := run(*scale, *exps, *list, *jsonOut, *note); err != nil {
 		fmt.Fprintln(os.Stderr, "upabench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(scaleName, expFilter string, list bool) error {
+func parseCounts(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -shards value %q (want positive integers, e.g. 1,2,4,8)", f)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func run(scaleName, expFilter string, list, jsonOut bool, note string) error {
 	all := bench.Experiments()
 	if list {
 		for _, e := range all {
@@ -72,20 +97,36 @@ func run(scaleName, expFilter string, list bool) error {
 			}
 		}
 	}
+	var report *bench.Report
+	if jsonOut {
+		report = bench.NewReport(scaleName)
+		report.Note = note
+	}
 	for _, e := range all {
 		if len(want) > 0 && !want[e.ID] {
 			continue
 		}
-		fmt.Printf("# %s\n\n", e.Title)
+		if !jsonOut {
+			fmt.Printf("# %s\n\n", e.Title)
+		} else {
+			fmt.Fprintf(os.Stderr, "running %s...\n", e.ID)
+		}
 		tabs, err := e.Run(scale)
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		if jsonOut {
+			report.Add(e.ID, e.Title, tabs)
+			continue
 		}
 		for _, t := range tabs {
 			if err := bench.WriteTable(os.Stdout, t); err != nil {
 				return err
 			}
 		}
+	}
+	if jsonOut {
+		return report.WriteJSON(os.Stdout)
 	}
 	return nil
 }

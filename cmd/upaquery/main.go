@@ -6,6 +6,7 @@
 // Usage:
 //
 //	upaquery -query q1-ftp -strategy upa -window 5000
+//	upaquery -query q1-ftp -strategy upa -shards 4
 //	upaquery -query q3 -strategy nt -window 2000 -trace trace.csv
 //	upaquery -cql "SELECT DISTINCT src FROM S0 [RANGE 2000]" -links 1
 //	upaquery -query q3 -strategy nt -metrics-addr :9090 -trace-out events.jsonl
@@ -55,6 +56,7 @@ func main() {
 	duration := flag.Int64("duration", 0, "trace duration in time units (default 2x window)")
 	traceFile := flag.String("trace", "", "CSV trace file (default: generate synthetically)")
 	partitions := flag.Int("partitions", 10, "state-buffer partitions")
+	shards := flag.Int("shards", 1, "run key-partitioned across this many parallel shards (falls back to 1 with a reason when the plan has no routing key)")
 	metricsAddr := flag.String("metrics-addr", "", "serve live metrics/pprof on this address (e.g. :9090)")
 	traceOut := flag.String("trace-out", "", "write typed engine events as JSON Lines to this file")
 	progressEvery := flag.Duration("progress", time.Second, "progress-line interval (0 disables)")
@@ -74,14 +76,14 @@ func main() {
 		return
 	}
 	if err := run(*query, *cqlText, *links, *strategy, *windowSize, *duration, *traceFile,
-		*partitions, *metricsAddr, *traceOut, *progressEvery); err != nil {
+		*partitions, *shards, *metricsAddr, *traceOut, *progressEvery); err != nil {
 		fmt.Fprintln(os.Stderr, "upaquery:", err)
 		os.Exit(1)
 	}
 }
 
 func run(queryName, cqlText string, cqlLinks int, strategyName string, windowSize, duration int64,
-	traceFile string, partitions int, metricsAddr, traceOut string, progressEvery time.Duration) error {
+	traceFile string, partitions, shards int, metricsAddr, traceOut string, progressEvery time.Duration) error {
 	var q bench.Query
 	var root *plan.Node
 	nLinks := 0
@@ -161,9 +163,26 @@ func run(queryName, cqlText string, cqlLinks int, strategyName string, windowSiz
 		cfg.Tracer = tracer
 	}
 
-	eng, err := exec.New(phys, cfg)
-	if err != nil {
-		return err
+	var (
+		seq *exec.Engine
+		sh  *exec.Sharded
+	)
+	if shards > 1 {
+		sh, err = exec.NewSharded(phys, cfg, shards)
+		if err != nil {
+			return err
+		}
+		defer sh.Close()
+		if reason := sh.FallbackReason(); reason != "" {
+			fmt.Fprintf(os.Stderr, "sharding fell back to sequential: %s\n", reason)
+		} else {
+			fmt.Fprintf(os.Stderr, "running key-partitioned across %d shards\n", sh.Shards())
+		}
+	} else {
+		seq, err = exec.New(phys, cfg)
+		if err != nil {
+			return err
+		}
 	}
 
 	var recs []trace.Record
@@ -188,17 +207,40 @@ func run(queryName, cqlText string, cqlLinks int, strategyName string, windowSiz
 
 	start := time.Now()
 	prog := newProgress(start, progressEvery)
-	for i, r := range recs {
-		if r.Link >= nLinks {
-			return fmt.Errorf("trace record on link %d, but query reads %d links", r.Link, nLinks)
+	if sh != nil {
+		batch := make([]exec.Arrival, 0, 256)
+		for i, r := range recs {
+			if r.Link >= nLinks {
+				return fmt.Errorf("trace record on link %d, but query reads %d links", r.Link, nLinks)
+			}
+			batch = append(batch, exec.Arrival{Stream: r.Link, TS: r.TS, Vals: r.Vals})
+			if len(batch) == cap(batch) {
+				if err := sh.PushBatch(batch); err != nil {
+					return err
+				}
+				batch = batch[:0]
+				prog.maybe(i+1, sh)
+			}
 		}
-		if err := eng.Push(r.Link, r.TS, r.Vals...); err != nil {
+		if err := sh.PushBatch(batch); err != nil {
 			return err
 		}
-		prog.maybe(i+1, eng)
-	}
-	if err := eng.Sync(); err != nil {
-		return err
+		if err := sh.Sync(); err != nil {
+			return err
+		}
+	} else {
+		for i, r := range recs {
+			if r.Link >= nLinks {
+				return fmt.Errorf("trace record on link %d, but query reads %d links", r.Link, nLinks)
+			}
+			if err := seq.Push(r.Link, r.TS, r.Vals...); err != nil {
+				return err
+			}
+			prog.maybe(i+1, seq)
+		}
+		if err := seq.Sync(); err != nil {
+			return err
+		}
 	}
 	elapsed := time.Since(start)
 	if tracer != nil {
@@ -208,7 +250,24 @@ func run(queryName, cqlText string, cqlLinks int, strategyName string, windowSiz
 		fmt.Fprintf(os.Stderr, "wrote event trace to %s\n", traceOut)
 	}
 
-	st := eng.Stats()
+	var (
+		st        exec.Stats
+		resultLen int
+		touched   int64
+	)
+	if sh != nil {
+		st = sh.Stats()
+		if resultLen, err = sh.ResultCount(); err != nil {
+			return err
+		}
+		if touched, err = sh.Touched(); err != nil {
+			return err
+		}
+	} else {
+		st = seq.Stats()
+		resultLen = seq.View().Len()
+		touched = seq.Touched()
+	}
 	if st.Arrivals == 0 {
 		fmt.Println("no tuples processed (empty trace)")
 		return nil
@@ -219,7 +278,7 @@ func run(queryName, cqlText string, cqlLinks int, strategyName string, windowSiz
 	fmt.Printf("results emitted %d, retracted %d, window negatives %d\n",
 		st.Emitted, st.Retracted, st.WindowNegatives)
 	fmt.Printf("current result size %d, peak stored tuples %d, tuple touches %d\n",
-		eng.View().Len(), st.MaxStateTuples, eng.Touched())
+		resultLen, st.MaxStateTuples, touched)
 	return nil
 }
 
@@ -235,9 +294,17 @@ func newProgress(start time.Time, every time.Duration) *progress {
 	return &progress{every: every, start: start, next: start.Add(every)}
 }
 
+// liveEngine is the stats surface the progress printer reads; both the
+// sequential and sharded executors satisfy it.
+type liveEngine interface {
+	Stats() exec.Stats
+	Clock() int64
+}
+
 // maybe emits a progress line when the interval has elapsed. It checks the
-// wall clock only every 1024 tuples to keep the run loop cheap.
-func (p *progress) maybe(tuples int, eng *exec.Engine) {
+// wall clock only every 1024 tuples (or batch boundary) to keep the run
+// loop cheap.
+func (p *progress) maybe(tuples int, eng liveEngine) {
 	if p.every <= 0 || tuples&1023 != 0 {
 		return
 	}
@@ -247,11 +314,20 @@ func (p *progress) maybe(tuples int, eng *exec.Engine) {
 	}
 	p.next = now.Add(p.every)
 	st := eng.Stats()
+	state := -1
+	switch e := eng.(type) {
+	case *exec.Engine:
+		state = e.StateTuples()
+	case *exec.Sharded:
+		if n, err := e.StateTuples(); err == nil {
+			state = n
+		}
+	}
 	rate := float64(tuples) / now.Sub(p.start).Seconds()
 	retrRate := 0.0
 	if st.Arrivals > 0 {
 		retrRate = float64(st.Retracted) / float64(st.Arrivals)
 	}
 	fmt.Fprintf(os.Stderr, "progress: %d tuples (%.0f tuples/s), clock=%d, state=%d, emitted=%d, retracted=%d (%.3f/arrival)\n",
-		tuples, rate, eng.Clock(), eng.StateTuples(), st.Emitted, st.Retracted, retrRate)
+		tuples, rate, eng.Clock(), state, st.Emitted, st.Retracted, retrRate)
 }

@@ -49,9 +49,13 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		touched, err := eng.Touched()
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("%-8v %12v %10d %12d %12d\n",
 			strat, time.Since(start).Round(time.Microsecond), n,
-			eng.Stats().MaxStateTuples, eng.Touched())
+			eng.Stats().MaxStateTuples, touched)
 		last = eng
 	}
 	fmt.Println("\nper-operator profile of the UPA run:")

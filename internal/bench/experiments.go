@@ -46,13 +46,14 @@ func STRVariants() []Variant {
 	}
 }
 
-// Table is one rendered experiment result.
+// Table is one rendered experiment result. The json tags are the contract
+// of `upabench -json` result files.
 type Table struct {
-	ID      string
-	Title   string
-	Columns []string
-	Rows    [][]string
-	Notes   string
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Notes   string     `json:"notes,omitempty"`
 }
 
 // Experiment regenerates one table/figure of the evaluation.
@@ -187,7 +188,54 @@ func Experiments() []Experiment {
 		{"e6", "E6: partition-count sweep (Section 5.3.2 trade-off)", runPartitionSweep},
 		{"e7", "E7: lazy-interval sweep (Section 6.1)", runLazySweep},
 		{"e8", "E8: cost model vs measurement", runCostRanking},
+		{"e9", "E9: shard-count sweep (key-partitioned execution)", runShardSweep},
 	}
+}
+
+// shardSweepCounts are the shard counts experiment e9 sweeps;
+// `upabench -shards` overrides them.
+var shardSweepCounts = []int{1, 2, 4, 8}
+
+// SetShardSweep overrides the e9 shard-count sweep points.
+func SetShardSweep(counts []int) {
+	if len(counts) > 0 {
+		shardSweepCounts = counts
+	}
+}
+
+func runShardSweep(s Scale) ([]Table, error) {
+	w := int64(20000)
+	if s == Quick {
+		w = 5000
+	}
+	tab := Table{
+		ID:      "e9",
+		Title:   fmt.Sprintf("Shard sweep, Query 1 (ftp), window %d — UPA, batched ingest", w),
+		Columns: []string{"shards", "ms/1k tuples", "tuples/s", "speedup", "peak state"},
+		Notes: "Arrivals are routed by the join key's hash across independent engine shards " +
+			"(DESIGN.md \"Sharded execution\") and fed in batches of 256. Speedup is relative " +
+			"to the 1-shard row and needs as many idle cores as shards to materialize; on " +
+			"fewer cores the parallel rows mostly measure coordination overhead.",
+	}
+	base := 0.0
+	for _, shards := range shardSweepCounts {
+		res, err := Run(Q1FTP, RunConfig{Strategy: plan.UPA, Window: w, Shards: shards})
+		if err != nil {
+			return nil, err
+		}
+		if res.ShardFallback != "" {
+			return nil, fmt.Errorf("e9: Q1 unexpectedly not partitionable: %s", res.ShardFallback)
+		}
+		perSec := float64(res.Tuples) / res.Elapsed.Seconds()
+		if base == 0 {
+			base = res.MsPerK // speedup is relative to the first sweep point
+		}
+		tab.Rows = append(tab.Rows, []string{
+			fmt.Sprint(shards), fmt.Sprintf("%.3f", res.MsPerK), fmt.Sprintf("%.0f", perSec),
+			fmt.Sprintf("%.2fx", base/res.MsPerK), fmt.Sprint(res.MaxState),
+		})
+	}
+	return []Table{tab}, nil
 }
 
 func runPartitionSweep(s Scale) ([]Table, error) {

@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+)
+
+// Report is the machine-readable form of an experiment run, written by
+// `upabench -json`. Tables carry the same cells as the text output, so a
+// result file diffs cleanly against a rerun on the same machine.
+type Report struct {
+	// Scale is "quick" or "full".
+	Scale string `json:"scale"`
+	// GoVersion, GOOS/GOARCH, and NumCPU describe the machine the numbers
+	// came from — wall-clock results are only comparable within one host,
+	// and parallel speedups (experiment e9) require NumCPU >= shards.
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+	// Note carries run-specific caveats (e.g. a core-count limitation).
+	Note string `json:"note,omitempty"`
+	// Experiments are the runs, in index order.
+	Experiments []ExperimentReport `json:"experiments"`
+}
+
+// ExperimentReport is one experiment's rendered tables.
+type ExperimentReport struct {
+	ID     string  `json:"id"`
+	Title  string  `json:"title"`
+	Tables []Table `json:"tables"`
+}
+
+// NewReport builds an empty report stamped with the host description.
+func NewReport(scale string) *Report {
+	return &Report{
+		Scale:     scale,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+}
+
+// Add appends one experiment's tables to the report.
+func (r *Report) Add(id, title string, tabs []Table) {
+	r.Experiments = append(r.Experiments, ExperimentReport{ID: id, Title: title, Tables: tabs})
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

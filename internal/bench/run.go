@@ -56,7 +56,16 @@ type RunConfig struct {
 	Metrics *obs.Registry
 	// Tracer, when set, receives the run's typed engine events.
 	Tracer *obs.Tracer
+	// Shards > 1 runs the query key-partitioned across that many parallel
+	// shards with batched ingest (DESIGN.md "Sharded execution"), falling
+	// back to one shard when the plan admits no routing key.
+	Shards int
 }
+
+// shardFeedBatch is how many arrivals a sharded run hands to PushBatch at
+// a time — large enough to amortize the per-batch routing and flush costs,
+// small enough to keep shard queues busy.
+const shardFeedBatch = 256
 
 func (rc RunConfig) withDefaults() RunConfig {
 	if rc.Duration <= 0 {
@@ -99,6 +108,11 @@ type Result struct {
 	Emitted, Retracted, WindowNegatives int64
 	// FinalResults is the view size at the end of the run.
 	FinalResults int
+	// Shards is how many parallel shards executed the run (1 when
+	// sequential); ShardFallback carries the planner's reason when a
+	// sharded run degraded to one shard.
+	Shards        int
+	ShardFallback string
 	// Metrics is the run's end-of-run metric snapshot (engine counters,
 	// gauges, and per-operator series) — the registry-backed view of the
 	// same measures, embedded in experiment report tables.
@@ -120,12 +134,9 @@ func Run(q Query, rc RunConfig) (Result, error) {
 	if lazy < 1 {
 		lazy = 1
 	}
-	eng, err := exec.New(phys, exec.Config{
+	cfg := exec.Config{
 		EagerInterval: 1, LazyInterval: lazy,
 		Metrics: rc.Metrics, Tracer: rc.Tracer,
-	})
-	if err != nil {
-		return Result{}, fmt.Errorf("bench %v: %w", q, err)
 	}
 
 	links := q.Links()
@@ -142,6 +153,14 @@ func Run(q Query, rc RunConfig) (Result, error) {
 		DisjointSources: q.DisjointSources(),
 	})
 
+	if rc.Shards > 1 {
+		return runSharded(q, rc, phys, cfg, gen)
+	}
+
+	eng, err := exec.New(phys, cfg)
+	if err != nil {
+		return Result{}, fmt.Errorf("bench %v: %w", q, err)
+	}
 	start := time.Now()
 	var n int64
 	for {
@@ -174,5 +193,70 @@ func Run(q Query, rc RunConfig) (Result, error) {
 		WindowNegatives: st.WindowNegatives,
 		FinalResults:    eng.View().Len(),
 		Metrics:         eng.Metrics().Snapshot(),
+		Shards:          1,
+	}, nil
+}
+
+// runSharded measures a key-partitioned run: arrivals are handed to the
+// sharded executor in PushBatch chunks so shard queues stay full, and the
+// timed region covers ingest through the final cross-shard Sync.
+func runSharded(q Query, rc RunConfig, phys *plan.Physical, cfg exec.Config, gen *trace.Generator) (Result, error) {
+	sh, err := exec.NewSharded(phys, cfg, rc.Shards)
+	if err != nil {
+		return Result{}, fmt.Errorf("bench %v: %w", q, err)
+	}
+	defer sh.Close()
+
+	start := time.Now()
+	var n int64
+	batch := make([]exec.Arrival, 0, shardFeedBatch)
+	for {
+		rec, ok := gen.Next()
+		if !ok {
+			break
+		}
+		batch = append(batch, exec.Arrival{Stream: rec.Link, TS: rec.TS, Vals: rec.Vals})
+		if len(batch) == shardFeedBatch {
+			if err := sh.PushBatch(batch); err != nil {
+				return Result{}, fmt.Errorf("bench %v: push: %w", q, err)
+			}
+			batch = batch[:0]
+			n += shardFeedBatch
+		}
+	}
+	if err := sh.PushBatch(batch); err != nil {
+		return Result{}, fmt.Errorf("bench %v: push: %w", q, err)
+	}
+	n += int64(len(batch))
+	if err := sh.Sync(); err != nil {
+		return Result{}, fmt.Errorf("bench %v: sync: %w", q, err)
+	}
+	elapsed := time.Since(start)
+
+	touched, err := sh.Touched()
+	if err != nil {
+		return Result{}, fmt.Errorf("bench %v: %w", q, err)
+	}
+	finalResults, err := sh.ResultCount()
+	if err != nil {
+		return Result{}, fmt.Errorf("bench %v: %w", q, err)
+	}
+	st := sh.Stats()
+	return Result{
+		Query:           q,
+		Strategy:        rc.Strategy,
+		Window:          rc.Window,
+		Tuples:          n,
+		Elapsed:         elapsed,
+		MsPerK:          float64(elapsed.Nanoseconds()) / 1e6 / float64(n) * 1000,
+		Touched:         touched,
+		MaxState:        st.MaxStateTuples,
+		Emitted:         st.Emitted,
+		Retracted:       st.Retracted,
+		WindowNegatives: st.WindowNegatives,
+		FinalResults:    finalResults,
+		Metrics:         sh.Metrics().Snapshot(),
+		Shards:          sh.Shards(),
+		ShardFallback:   sh.FallbackReason(),
 	}, nil
 }

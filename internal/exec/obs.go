@@ -57,28 +57,29 @@ type engineMetrics struct {
 	pushNanos                                        *obs.Histogram
 }
 
-func newEngineMetrics(reg *obs.Registry) engineMetrics {
+func newEngineMetrics(reg *obs.Registry, base obs.Labels) engineMetrics {
 	return engineMetrics{
-		arrivals:        reg.Counter(MetricArrivals, "base-stream tuples pushed", nil),
-		emitted:         reg.Counter(MetricEmitted, "positive output-stream tuples", nil),
-		retracted:       reg.Counter(MetricRetracted, "negative output-stream tuples", nil),
-		windowNegatives: reg.Counter(MetricWindowNegatives, "window-generated retractions (NT strategy)", nil),
-		eagerPasses:     reg.Counter(MetricEagerPasses, "eager maintenance passes", nil),
-		lazyPasses:      reg.Counter(MetricLazyPasses, "lazy maintenance passes", nil),
-		tableUpdates:    reg.Counter(MetricTableUpdates, "table updates applied", nil),
-		viewExpired:     reg.Counter(MetricViewExpired, "result rows retired by view expiration", nil),
-		clock:           reg.Gauge(MetricClock, "engine logical time", nil),
-		stateTuples:     reg.Gauge(MetricStateTuples, "stored tuples (sampled)", nil),
-		maxStateTuples:  reg.Gauge(MetricStateTuplesPeak, "peak stored tuples", nil),
-		viewRows:        reg.Gauge(MetricViewRows, "result view cardinality (sampled)", nil),
-		pushNanos:       reg.Histogram(MetricPushNanos, "Push wall-clock latency in nanoseconds", obs.DefaultLatencyBuckets(), nil),
+		arrivals:        reg.Counter(MetricArrivals, "base-stream tuples pushed", base),
+		emitted:         reg.Counter(MetricEmitted, "positive output-stream tuples", base),
+		retracted:       reg.Counter(MetricRetracted, "negative output-stream tuples", base),
+		windowNegatives: reg.Counter(MetricWindowNegatives, "window-generated retractions (NT strategy)", base),
+		eagerPasses:     reg.Counter(MetricEagerPasses, "eager maintenance passes", base),
+		lazyPasses:      reg.Counter(MetricLazyPasses, "lazy maintenance passes", base),
+		tableUpdates:    reg.Counter(MetricTableUpdates, "table updates applied", base),
+		viewExpired:     reg.Counter(MetricViewExpired, "result rows retired by view expiration", base),
+		clock:           reg.Gauge(MetricClock, "engine logical time", base),
+		stateTuples:     reg.Gauge(MetricStateTuples, "stored tuples (sampled)", base),
+		maxStateTuples:  reg.Gauge(MetricStateTuplesPeak, "peak stored tuples", base),
+		viewRows:        reg.Gauge(MetricViewRows, "result view cardinality (sampled)", base),
+		pushNanos:       reg.Histogram(MetricPushNanos, "Push wall-clock latency in nanoseconds", obs.DefaultLatencyBuckets(), base),
 	}
 }
 
 // opCounters registers the per-operator emission series for every plan
 // node, labeled with the operator class and its pre-order index so the
-// exposition output lines up with Profile()'s tree order.
-func opCounters(reg *obs.Registry, root *plan.PNode) map[*plan.PNode]*emitStats {
+// exposition output lines up with Profile()'s tree order. base labels (e.g.
+// a shard id) are merged into every series.
+func opCounters(reg *obs.Registry, root *plan.PNode, base obs.Labels) map[*plan.PNode]*emitStats {
 	out := make(map[*plan.PNode]*emitStats)
 	idx := 0
 	var walk func(n *plan.PNode)
@@ -87,6 +88,9 @@ func opCounters(reg *obs.Registry, root *plan.PNode) map[*plan.PNode]*emitStats 
 			return
 		}
 		labels := obs.Labels{"op": n.Class.String(), "node": strconv.Itoa(idx)}
+		for k, v := range base {
+			labels[k] = v
+		}
 		idx++
 		out[n] = &emitStats{
 			pos: reg.Counter(MetricOpEmitted, "per-operator emitted tuples", labels),

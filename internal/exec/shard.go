@@ -1,0 +1,483 @@
+package exec
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+
+	"repro/internal/obs"
+	"repro/internal/operator"
+	"repro/internal/plan"
+	"repro/internal/relation"
+	"repro/internal/tuple"
+)
+
+// Sharded executes one continuous query as n independent key-partitioned
+// Engine copies, one per worker goroutine. plan.PartitionKey proves that the
+// plan's stateful operators only ever relate tuples agreeing on a common key
+// reachable from every base stream; arrivals are then routed by that key's
+// hash, so every tuple interaction is shard-local and the final answer is
+// the bag union of the shard views. Table updates are fanned to all shards
+// (relations are replicated state), and plans the analysis rejects fall back
+// to a single sequential engine with FallbackReason explaining why.
+//
+// Arrivals are buffered per shard and handed to workers in batches over a
+// bounded channel, so a fast producer back-pressures instead of ballooning.
+// Within a shard, Engine semantics are untouched: each worker sees its
+// partition of the input in global timestamp order and runs the same
+// maintenance cadence a sequential engine would.
+//
+// Concurrency notes: Config.OnEmit is invoked from worker goroutines (and
+// may be invoked concurrently) when the plan shards; callbacks must be
+// thread-safe. Metrics and traces are safe: the registry and tracer sinks
+// are mutex/atomic-protected, and each shard's series carry a "shard" label.
+type Sharded struct {
+	phys   *plan.Physical
+	shards []*Engine
+	// route maps streamID -> routing columns (from plan.PartitionKey).
+	route  map[int][]int
+	reason string // non-empty: why the plan fell back to sequential
+	clock  int64
+	reg    *obs.Registry
+
+	// Worker plumbing; nil chans means sequential (single shard, no workers).
+	chans   []chan shardOp
+	pending [][]Arrival
+	wg      sync.WaitGroup
+	closed  sync.Once
+}
+
+// shardBatch is how many arrivals are buffered per shard before handing the
+// run to its worker; shardQueue bounds in-flight batches per shard.
+const (
+	shardBatch = 512
+	shardQueue = 4
+)
+
+// shardOp is one unit of work for a shard worker: a batch of arrivals, or a
+// barrier request (ack != nil) answered once all prior batches are done.
+type shardOp struct {
+	batch []Arrival
+	ack   chan error
+}
+
+// NewSharded builds a sharded executor over the physical plan. n < 2 (or a
+// plan PartitionKey rejects) yields a sequential executor behind the same
+// interface; FallbackReason reports the analysis verdict. The shards share
+// cfg.Metrics (or one private registry), distinguished by a "shard" label.
+func NewSharded(phys *plan.Physical, cfg Config, n int) (*Sharded, error) {
+	if n < 1 {
+		n = 1
+	}
+	reg := cfg.Metrics
+	if reg == nil && n > 1 {
+		reg = obs.NewRegistry()
+	}
+
+	s := &Sharded{phys: phys, clock: -1, reg: reg}
+	var part *plan.Partitioning
+	if n > 1 {
+		var err error
+		part, err = plan.PartitionKey(phys)
+		if err != nil {
+			s.reason = err.Error()
+			n = 1
+		} else {
+			s.route = part.ByStream
+		}
+	}
+
+	for i := 0; i < n; i++ {
+		shardPhys := phys
+		if i > 0 {
+			// Each shard needs its own operator state and windows; rebuild
+			// the physical plan from the shared (annotated) logical tree.
+			var err error
+			shardPhys, err = plan.Build(phys.Logical, phys.Strategy, phys.Opts)
+			if err != nil {
+				return nil, fmt.Errorf("exec: rebuilding plan for shard %d: %w", i, err)
+			}
+		}
+		shardCfg := cfg
+		shardCfg.Metrics = reg
+		if n > 1 {
+			labels := obs.Labels{"shard": strconv.Itoa(i)}
+			for k, v := range cfg.MetricLabels {
+				labels[k] = v
+			}
+			shardCfg.MetricLabels = labels
+		}
+		eng, err := New(shardPhys, shardCfg)
+		if err != nil {
+			return nil, err
+		}
+		s.shards = append(s.shards, eng)
+	}
+
+	if n > 1 {
+		s.chans = make([]chan shardOp, n)
+		s.pending = make([][]Arrival, n)
+		for i := range s.chans {
+			s.chans[i] = make(chan shardOp, shardQueue)
+			s.wg.Add(1)
+			go s.worker(i)
+		}
+	}
+	return s, nil
+}
+
+// worker drains one shard's channel. Errors are sticky until reported at the
+// next barrier; batches after an error are dropped (the engine's state is no
+// longer trustworthy).
+func (s *Sharded) worker(i int) {
+	defer s.wg.Done()
+	eng := s.shards[i]
+	var err error
+	for op := range s.chans[i] {
+		switch {
+		case op.ack != nil:
+			op.ack <- err
+			err = nil
+		case err == nil:
+			err = eng.PushBatch(op.batch)
+		}
+	}
+}
+
+// Shards returns the number of engine copies (1 when sequential).
+func (s *Sharded) Shards() int { return len(s.shards) }
+
+// FallbackReason returns why the plan could not be partitioned, or "" when
+// it shards (or sharding was never requested).
+func (s *Sharded) FallbackReason() string { return s.reason }
+
+// sequential reports whether the executor runs without workers.
+func (s *Sharded) sequential() bool { return s.chans == nil }
+
+// Push admits one base-stream tuple; the vals slice is retained.
+func (s *Sharded) Push(streamID int, ts int64, vals ...tuple.Value) error {
+	if s.sequential() {
+		return s.shards[0].Push(streamID, ts, vals...)
+	}
+	return s.enqueue(Arrival{Stream: streamID, TS: ts, Vals: vals})
+}
+
+// PushBatch admits a run of arrivals; the Vals slices are retained.
+func (s *Sharded) PushBatch(batch []Arrival) error {
+	if s.sequential() {
+		return s.shards[0].PushBatch(batch)
+	}
+	for _, a := range batch {
+		if err := s.enqueue(a); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Sharded) enqueue(a Arrival) error {
+	if a.TS < s.clock {
+		return fmt.Errorf("exec: timestamp %d regresses before %d", a.TS, s.clock)
+	}
+	s.clock = a.TS
+	cols, ok := s.route[a.Stream]
+	if !ok {
+		return fmt.Errorf("exec: no source for stream %d", a.Stream)
+	}
+	i := int(tuple.Tuple{Vals: a.Vals}.Key(cols).Hash64() % uint64(len(s.shards)))
+	s.pending[i] = append(s.pending[i], a)
+	if len(s.pending[i]) >= shardBatch {
+		s.flushShard(i)
+	}
+	return nil
+}
+
+// flushShard hands shard i's buffered arrivals to its worker (blocking when
+// the shard's queue is full — that is the back-pressure).
+func (s *Sharded) flushShard(i int) {
+	if len(s.pending[i]) == 0 {
+		return
+	}
+	batch := s.pending[i]
+	s.pending[i] = nil
+	s.chans[i] <- shardOp{batch: batch}
+}
+
+// barrier flushes all buffers and waits until every worker has drained its
+// queue, returning the first worker error. After it returns the coordinator
+// may touch shard engines directly: the ack exchange orders all worker-side
+// engine access before coordinator-side access.
+func (s *Sharded) barrier() error {
+	acks := make([]chan error, len(s.shards))
+	for i := range s.shards {
+		s.flushShard(i)
+	}
+	for i := range s.shards {
+		acks[i] = make(chan error, 1)
+		s.chans[i] <- shardOp{ack: acks[i]}
+	}
+	var first error
+	for _, ack := range acks {
+		if err := <-ack; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Advance moves logical time forward with no arrival. Shards observe the new
+// clock at the next barrier (Sync/Snapshot), which is when results are read.
+func (s *Sharded) Advance(ts int64) error {
+	if s.sequential() {
+		return s.shards[0].Advance(ts)
+	}
+	if ts < s.clock {
+		return fmt.Errorf("exec: time %d regresses before %d", ts, s.clock)
+	}
+	s.clock = ts
+	return nil
+}
+
+// ApplyTableUpdate applies one relation/NRR mutation. The update is a
+// replicated-state write: all workers are drained first (so no worker probes
+// the table mid-mutation, and none double-counts a row it already saw), the
+// shared table is mutated once, then the consequences are routed through
+// every shard's plan.
+func (s *Sharded) ApplyTableUpdate(tbl *relation.Table, u relation.Update) error {
+	if s.sequential() {
+		return s.shards[0].ApplyTableUpdate(tbl, u)
+	}
+	if u.TS < s.clock {
+		return fmt.Errorf("exec: table update at %d regresses before %d", u.TS, s.clock)
+	}
+	s.clock = u.TS
+	if err := s.barrier(); err != nil {
+		return err
+	}
+	if err := tbl.Apply(u); err != nil {
+		return err
+	}
+	for _, eng := range s.shards {
+		if err := eng.RouteTableUpdate(tbl, u); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Sync drains all workers and forces every shard's pending maintenance up to
+// the coordinator clock.
+func (s *Sharded) Sync() error {
+	if s.sequential() {
+		return s.shards[0].Sync()
+	}
+	if err := s.barrier(); err != nil {
+		return err
+	}
+	for _, eng := range s.shards {
+		if s.clock > eng.Clock() {
+			if err := eng.Advance(s.clock); err != nil {
+				return err
+			}
+		}
+		if err := eng.Sync(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Snapshot syncs and returns the merged result multiset: the bag union of
+// the shard views. For keyed (running-aggregate) views the union is keyed;
+// key collisions cannot occur when PartitionKey accepted the plan (the
+// routing key is a subset of the group key, so each group lives in exactly
+// one shard), but COUNT/SUM columns are combined anyway as belt-and-braces.
+func (s *Sharded) Snapshot() ([]tuple.Tuple, error) {
+	if s.sequential() {
+		return s.shards[0].Snapshot()
+	}
+	if err := s.Sync(); err != nil {
+		return nil, err
+	}
+	var out []tuple.Tuple
+	for _, eng := range s.shards {
+		out = append(out, eng.View().Snapshot()...)
+	}
+	if s.phys.View.Kind == plan.ViewKeyed {
+		out = s.mergeKeyed(out)
+	}
+	return out, nil
+}
+
+// mergeKeyed folds rows sharing a view key into one, summing COUNT/SUM
+// aggregate columns; for other aggregate kinds the later row wins (again,
+// unreachable under the partitioning discipline).
+func (s *Sharded) mergeKeyed(rows []tuple.Tuple) []tuple.Tuple {
+	var aggs []operator.AggSpec
+	if root := s.phys.Logical; root != nil && root.Kind == plan.GroupBy {
+		aggs = root.Aggs
+	}
+	keyCols := s.phys.View.KeyCols
+	byKey := make(map[tuple.Key]int, len(rows))
+	out := rows[:0]
+	for _, r := range rows {
+		k := r.Key(keyCols)
+		at, seen := byKey[k]
+		if !seen {
+			byKey[k] = len(out)
+			out = append(out, r)
+			continue
+		}
+		prev := out[at]
+		merged := prev.Clone()
+		for i, spec := range aggs {
+			col := len(keyCols) + i
+			if col >= len(merged.Vals) || col >= len(r.Vals) {
+				continue
+			}
+			switch spec.Kind {
+			case operator.Count, operator.Sum:
+				a, b := merged.Vals[col], r.Vals[col]
+				if a.Kind == tuple.KindFloat || b.Kind == tuple.KindFloat {
+					merged.Vals[col] = tuple.Float(a.AsFloat() + b.AsFloat())
+				} else {
+					merged.Vals[col] = tuple.Int(a.I + b.I)
+				}
+			default:
+				if r.TS > merged.TS {
+					merged.Vals[col] = r.Vals[col]
+				}
+			}
+		}
+		if r.TS > merged.TS {
+			merged.TS = r.TS
+		}
+		out[at] = merged
+	}
+	return out
+}
+
+// ResultCount syncs and returns the merged result cardinality.
+func (s *Sharded) ResultCount() (int, error) {
+	if s.sequential() {
+		return s.shards[0].ResultCount()
+	}
+	snap, err := s.Snapshot()
+	if err != nil {
+		return 0, err
+	}
+	return len(snap), nil
+}
+
+// LookupKey returns merged result rows under k across all shards; callers
+// should Sync first (repro's Lookup does). Sequential callers get the
+// underlying view's answer.
+func (s *Sharded) LookupKey(k tuple.Key) ([]tuple.Tuple, bool) {
+	var out []tuple.Tuple
+	ok := true
+	for _, eng := range s.shards {
+		lv, is := eng.View().(Lookup)
+		if !is {
+			return nil, false
+		}
+		rows, lok := lv.LookupKey(k)
+		out = append(out, rows...)
+		ok = ok && lok
+	}
+	return out, ok
+}
+
+// Clock returns the coordinator's logical time (the max timestamp admitted).
+func (s *Sharded) Clock() int64 {
+	if s.sequential() {
+		return s.shards[0].Clock()
+	}
+	return s.clock
+}
+
+// Streams returns the base-stream ids the plan reads.
+func (s *Sharded) Streams() []int { return s.shards[0].Streams() }
+
+// Metrics returns the registry shared by all shards (the one passed in
+// Config.Metrics, or a private shared registry).
+func (s *Sharded) Metrics() *obs.Registry { return s.shards[0].Metrics() }
+
+// Stats sums the per-shard counters. Counter reads are atomic, so Stats is
+// safe while workers run, though mid-flight values are approximate.
+// MaxStateTuples sums per-shard peaks, which may overstate the true
+// simultaneous peak (shards peak at different times).
+func (s *Sharded) Stats() Stats {
+	var out Stats
+	for _, eng := range s.shards {
+		st := eng.Stats()
+		out.Arrivals += st.Arrivals
+		out.Emitted += st.Emitted
+		out.Retracted += st.Retracted
+		out.WindowNegatives += st.WindowNegatives
+		out.MaxStateTuples += st.MaxStateTuples
+	}
+	return out
+}
+
+// StateTuples drains the workers and sums stored tuples across shards.
+func (s *Sharded) StateTuples() (int, error) {
+	if !s.sequential() {
+		if err := s.barrier(); err != nil {
+			return 0, err
+		}
+	}
+	n := 0
+	for _, eng := range s.shards {
+		n += eng.StateTuples()
+	}
+	return n, nil
+}
+
+// Touched drains the workers and sums tuple visits across shards.
+func (s *Sharded) Touched() (int64, error) {
+	if !s.sequential() {
+		if err := s.barrier(); err != nil {
+			return 0, err
+		}
+	}
+	var n int64
+	for _, eng := range s.shards {
+		n += eng.Touched()
+	}
+	return n, nil
+}
+
+// WriteProfile drains the workers and writes each shard's operator profile.
+func (s *Sharded) WriteProfile(w io.Writer) error {
+	if s.sequential() {
+		return s.shards[0].WriteProfile(w)
+	}
+	if err := s.barrier(); err != nil {
+		return err
+	}
+	for i, eng := range s.shards {
+		if _, err := fmt.Fprintf(w, "shard %d:\n", i); err != nil {
+			return err
+		}
+		if err := eng.WriteProfile(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close stops the workers after draining buffered arrivals. Idempotent; the
+// executor must not be used afterwards.
+func (s *Sharded) Close() {
+	s.closed.Do(func() {
+		if s.chans == nil {
+			return
+		}
+		for i := range s.chans {
+			s.flushShard(i)
+			close(s.chans[i])
+		}
+		s.wg.Wait()
+	})
+}

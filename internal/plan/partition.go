@@ -1,0 +1,357 @@
+package plan
+
+import (
+	"fmt"
+
+	"repro/internal/tuple"
+	"repro/internal/window"
+)
+
+// This file decides whether a plan can run as n independent key-partitioned
+// shards. The idea follows Section 5.2's pattern-propagation discipline:
+// selection, projection, and union are transparent to how tuples flow, so a
+// partitioning of the base streams survives them untouched; stateful
+// operators (join, intersect, distinct, group-by, negate) only stay correct
+// if every pair of tuples that can interact in their state lands on the same
+// shard. That holds exactly when the routing key is derived from the
+// operator's own key columns, traced back to base-stream columns, aligned
+// across every stream that feeds the operator. Relation joins impose no
+// constraint because tables are replicated to all shards.
+
+// Partitioning describes how to split a plan's base streams across
+// independent shards.
+type Partitioning struct {
+	// ByStream maps each base stream to the columns of its arrival schema
+	// whose values route a tuple to its shard. Column lists are aligned
+	// across streams: position i of every interacting stream's list carries
+	// values that must agree for the tuples to interact, so hashing the
+	// rendered column values in order co-locates all interaction partners.
+	ByStream map[int][]int
+	// Stateless is set when no stateful operator constrained the key; every
+	// stream then routes by all of its columns purely for load spreading.
+	Stateless bool
+}
+
+// position maps streamID -> base column: one component of a candidate
+// routing key, expressed per contributing stream. A nil position is opaque
+// (not traceable to base columns, or contradictory for some stream).
+type position map[int]int
+
+// constraint is one stateful operator's demand on the routing key: the
+// routing columns of every stream in streams must come from (a subset of)
+// the valid positions, aligned identically across those streams.
+type constraint struct {
+	kind    NodeKind
+	streams map[int]bool
+	valid   []position
+}
+
+// PartitionKey reports how the plan's streams may be hash-partitioned so
+// that n copies of the plan, each fed one partition, together compute
+// exactly the sequential result. The error, when non-nil, is the
+// human-readable reason the plan must fall back to sequential execution.
+func PartitionKey(p *Physical) (*Partitioning, error) {
+	return partitionKey(p.Logical)
+}
+
+func partitionKey(root *Node) (*Partitioning, error) {
+	streams := map[int]*tuple.Schema{}
+	var cons []constraint
+	var walkErr error
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if walkErr != nil {
+			return
+		}
+		for _, in := range n.Inputs {
+			walk(in)
+		}
+		if walkErr != nil {
+			return
+		}
+		switch n.Kind {
+		case Source:
+			// Count-based windows evict the globally oldest tuple on each
+			// arrival; a shard only sees its own arrivals, so eviction order
+			// cannot be reproduced locally.
+			if n.Window.Type == window.CountBased {
+				walkErr = fmt.Errorf("stream %d has a count-based window: eviction order is global across shards", n.StreamID)
+				return
+			}
+			sch := n.Schema
+			if sch == nil {
+				sch = n.Source
+			}
+			streams[n.StreamID] = sch
+		case Join, Negate:
+			c := constraint{kind: n.Kind, streams: unionStreams(outStreams(n.Inputs[0]), outStreams(n.Inputs[1]))}
+			for i := range n.LeftCols {
+				pos := mergeAgree(traceCol(n.Inputs[0], n.LeftCols[i]), traceCol(n.Inputs[1], n.RightCols[i]))
+				if coversAll(pos, c.streams) {
+					c.valid = append(c.valid, pos)
+				}
+			}
+			if walkErr = requireValid(c); walkErr == nil {
+				cons = append(cons, c)
+			}
+		case Intersect:
+			c := constraint{kind: n.Kind, streams: unionStreams(outStreams(n.Inputs[0]), outStreams(n.Inputs[1]))}
+			width := n.Inputs[0].Schema.Len()
+			for col := 0; col < width; col++ {
+				pos := mergeAgree(traceCol(n.Inputs[0], col), traceCol(n.Inputs[1], col))
+				if coversAll(pos, c.streams) {
+					c.valid = append(c.valid, pos)
+				}
+			}
+			if walkErr = requireValid(c); walkErr == nil {
+				cons = append(cons, c)
+			}
+		case Distinct:
+			in := n.Inputs[0]
+			c := constraint{kind: n.Kind, streams: outStreams(in)}
+			for col := 0; col < in.Schema.Len(); col++ {
+				pos := traceCol(in, col)
+				if coversAll(pos, c.streams) {
+					c.valid = append(c.valid, pos)
+				}
+			}
+			if walkErr = requireValid(c); walkErr == nil {
+				cons = append(cons, c)
+			}
+		case GroupBy:
+			if len(n.GroupCols) == 0 {
+				walkErr = fmt.Errorf("group-by aggregates globally (no grouping columns)")
+				return
+			}
+			in := n.Inputs[0]
+			c := constraint{kind: n.Kind, streams: outStreams(in)}
+			for _, gc := range n.GroupCols {
+				pos := traceCol(in, gc)
+				if coversAll(pos, c.streams) {
+					c.valid = append(c.valid, pos)
+				}
+			}
+			if walkErr = requireValid(c); walkErr == nil {
+				cons = append(cons, c)
+			}
+		}
+	}
+	walk(root)
+	if walkErr != nil {
+		return nil, walkErr
+	}
+
+	// Merge the constraints into one global position set. Post-order
+	// collection means children precede ancestors, so when a constraint
+	// overlaps the accumulated coverage, each accumulated position touching
+	// it lies inside (or, for shared stream IDs, overlaps) the constraint's
+	// stream set; a position survives only by merging with an agreeing
+	// position of the new constraint, which keeps every surviving position
+	// covering each processed operator's streams either fully or not at all.
+	var key []position
+	covered := map[int]bool{}
+	for _, c := range cons {
+		overlap := false
+		for s := range c.streams {
+			if covered[s] {
+				overlap = true
+				break
+			}
+		}
+		if !overlap {
+			key = append(key, c.valid...)
+			for s := range c.streams {
+				covered[s] = true
+			}
+			continue
+		}
+		used := make([]bool, len(c.valid))
+		next := key[:0:0]
+		matched := 0
+		for _, p := range key {
+			touches := false
+			for s := range c.streams {
+				if _, ok := p[s]; ok {
+					touches = true
+					break
+				}
+			}
+			if !touches {
+				next = append(next, p)
+				continue
+			}
+			// mergeAgree returns nil on any per-stream disagreement, and p
+			// and q always share >=1 stream here (p touches c.streams, which
+			// q covers entirely), so a non-nil merge is a legal alignment.
+			for qi, q := range c.valid {
+				if used[qi] {
+					continue
+				}
+				if m := mergeAgree(p, q); m != nil {
+					next = append(next, m)
+					used[qi] = true
+					matched++
+					break
+				}
+			}
+			// p unmatched: keeping it would route this operator's streams by
+			// a column set its key does not sanction, so it is dropped.
+		}
+		if matched == 0 {
+			return nil, fmt.Errorf("stateful operators share no common partition key")
+		}
+		key = next
+		for s := range c.streams {
+			covered[s] = true
+		}
+	}
+
+	part := &Partitioning{ByStream: make(map[int][]int, len(streams)), Stateless: len(cons) == 0}
+	for id, sch := range streams {
+		var cols []int
+		// Iterate positions in key order with no dedup: interacting streams
+		// must produce routing vectors of equal length and aligned meaning.
+		for _, p := range key {
+			if c, ok := p[id]; ok {
+				cols = append(cols, c)
+			}
+		}
+		if len(cols) == 0 {
+			if covered[id] {
+				return nil, fmt.Errorf("stateful operators share no common partition key")
+			}
+			// Unconstrained stream: spread load by hashing the whole tuple.
+			for c := 0; c < sch.Len(); c++ {
+				cols = append(cols, c)
+			}
+		}
+		part.ByStream[id] = cols
+	}
+	return part, nil
+}
+
+func requireValid(c constraint) error {
+	if len(c.valid) > 0 {
+		return nil
+	}
+	return fmt.Errorf("%s keys do not trace to a common column of every contributing stream", c.kind)
+}
+
+// traceCol maps column col of n's output schema back to base-stream columns.
+// The result maps streamID -> column of that stream's arrival schema whose
+// value equals the output column for every tuple the subtree can emit; nil
+// means the column is opaque (computed, table-sourced, or contradictory).
+func traceCol(n *Node, col int) position {
+	switch n.Kind {
+	case Source:
+		return position{n.StreamID: col}
+	case Select, Distinct:
+		return traceCol(n.Inputs[0], col)
+	case Project:
+		if col < 0 || col >= len(n.Cols) {
+			return nil
+		}
+		return traceCol(n.Inputs[0], n.Cols[col])
+	case Union, Intersect:
+		return mergeAgree(traceCol(n.Inputs[0], col), traceCol(n.Inputs[1], col))
+	case Join:
+		left, right := n.Inputs[0], n.Inputs[1]
+		ll := left.Schema.Len()
+		if col < ll {
+			pos := traceCol(left, col)
+			// A join-key column equals its paired column on the other side
+			// for every output tuple, so fold that side's trace in too.
+			for i, lc := range n.LeftCols {
+				if lc == col {
+					pos = mergeAgree(pos, traceCol(right, n.RightCols[i]))
+				}
+			}
+			return pos
+		}
+		pos := traceCol(right, col-ll)
+		for i, rc := range n.RightCols {
+			if rc == col-ll {
+				pos = mergeAgree(pos, traceCol(left, n.LeftCols[i]))
+			}
+		}
+		return pos
+	case Negate:
+		// Negation emits (possibly retracted) left tuples; the right input
+		// never contributes values downstream.
+		return traceCol(n.Inputs[0], col)
+	case GroupBy:
+		if col < len(n.GroupCols) {
+			return traceCol(n.Inputs[0], n.GroupCols[col])
+		}
+		return nil // aggregate value, not a base column
+	case RelJoin, NRRJoin:
+		in := n.Inputs[0]
+		if col < in.Schema.Len() {
+			return traceCol(in, col)
+		}
+		return nil // table-sourced column
+	}
+	return nil
+}
+
+// coversAll reports whether p binds every stream in streams.
+func coversAll(p position, streams map[int]bool) bool {
+	if p == nil || len(streams) == 0 {
+		return false
+	}
+	for s := range streams {
+		if _, ok := p[s]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// mergeAgree unions two positions, failing (nil) if either is opaque or they
+// bind the same stream to different columns — the self-join-on-different-
+// columns case, which genuinely cannot be partitioned.
+func mergeAgree(a, b position) position {
+	if a == nil || b == nil {
+		return nil
+	}
+	m := make(position, len(a)+len(b))
+	for s, c := range a {
+		m[s] = c
+	}
+	for s, c := range b {
+		if have, ok := m[s]; ok && have != c {
+			return nil
+		}
+		m[s] = c
+	}
+	return m
+}
+
+// outStreams collects the base streams whose arrivals can surface as tuples
+// at n's output — negation's right input and relation tables affect what is
+// emitted but never contribute tuples of their own downstream.
+func outStreams(n *Node) map[int]bool {
+	out := map[int]bool{}
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		switch n.Kind {
+		case Source:
+			out[n.StreamID] = true
+		case Negate, RelJoin, NRRJoin:
+			walk(n.Inputs[0])
+		default:
+			for _, in := range n.Inputs {
+				walk(in)
+			}
+		}
+	}
+	walk(n)
+	return out
+}
+
+func unionStreams(a, b map[int]bool) map[int]bool {
+	for s := range b {
+		a[s] = true
+	}
+	return a
+}

@@ -1,0 +1,164 @@
+package plan
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/operator"
+	"repro/internal/relation"
+	"repro/internal/tuple"
+	"repro/internal/window"
+)
+
+func mustPartition(t *testing.T, n *Node) *Partitioning {
+	t.Helper()
+	mustAnnotate(t, n)
+	part, err := partitionKey(n)
+	if err != nil {
+		t.Fatalf("partitionKey: %v", err)
+	}
+	return part
+}
+
+func mustNotPartition(t *testing.T, n *Node, reason string) {
+	t.Helper()
+	mustAnnotate(t, n)
+	part, err := partitionKey(n)
+	if err == nil {
+		t.Fatalf("partitionKey = %+v, want failure mentioning %q", part, reason)
+	}
+	if !strings.Contains(err.Error(), reason) {
+		t.Fatalf("fallback reason = %q, want mention of %q", err, reason)
+	}
+}
+
+func TestPartitionKeyJoin(t *testing.T) {
+	// Q1 shape: equijoin of two filtered windows on src — shards by src.
+	ftp := func(id int) *Node {
+		return NewSelect(win(id, 100), operator.ColConst{Col: 1, Op: operator.EQ, Val: tuple.String_("ftp")})
+	}
+	part := mustPartition(t, NewJoin(ftp(0), ftp(1), []int{0}, []int{0}))
+	want := map[int][]int{0: {0}, 1: {0}}
+	if part.Stateless || !reflect.DeepEqual(part.ByStream, want) {
+		t.Errorf("partitioning = %+v, want ByStream %v", part, want)
+	}
+}
+
+func TestPartitionKeyThroughProjectAndUnion(t *testing.T) {
+	// distinct(project[1,0](W0) ∪ project[1,0](W1)): every distinct column
+	// traces through both union branches back to the same base columns.
+	u := NewUnion(NewProject(win(0, 100), 1, 0), NewProject(win(1, 100), 1, 0))
+	part := mustPartition(t, NewDistinct(u))
+	want := map[int][]int{0: {1, 0}, 1: {1, 0}}
+	if !reflect.DeepEqual(part.ByStream, want) {
+		t.Errorf("ByStream = %v, want %v", part.ByStream, want)
+	}
+}
+
+func TestPartitionKeyGroupByOnJoinKey(t *testing.T) {
+	// groupby on the join key column: the group column traces to both sides.
+	j := NewJoin(win(0, 100), win(1, 100), []int{0}, []int{0})
+	part := mustPartition(t, NewGroupBy(j, []int{0}, operator.AggSpec{Kind: operator.Count}))
+	want := map[int][]int{0: {0}, 1: {0}}
+	if !reflect.DeepEqual(part.ByStream, want) {
+		t.Errorf("ByStream = %v, want %v", part.ByStream, want)
+	}
+}
+
+func TestPartitionKeyNegate(t *testing.T) {
+	part := mustPartition(t, NewNegate(win(0, 100), win(1, 100), []int{0}, []int{0}))
+	want := map[int][]int{0: {0}, 1: {0}}
+	if !reflect.DeepEqual(part.ByStream, want) {
+		t.Errorf("ByStream = %v, want %v", part.ByStream, want)
+	}
+}
+
+func TestPartitionKeyRelJoinUnconstrained(t *testing.T) {
+	// A relation join replicates its table to every shard, so it adds no
+	// constraint: the plan stays partitioned by the stream join's key.
+	tbl := relation.NewRelation("names", tuple.MustSchema(
+		tuple.Column{Name: "src", Kind: tuple.KindInt},
+		tuple.Column{Name: "name", Kind: tuple.KindString},
+	))
+	j := NewJoin(win(0, 100), win(1, 100), []int{0}, []int{0})
+	part := mustPartition(t, NewRelJoin(j, tbl, []int{0}, []int{0}))
+	want := map[int][]int{0: {0}, 1: {0}}
+	if !reflect.DeepEqual(part.ByStream, want) {
+		t.Errorf("ByStream = %v, want %v", part.ByStream, want)
+	}
+}
+
+func TestPartitionKeyStatelessPlan(t *testing.T) {
+	// No stateful operator: every stream routes by all columns, for load
+	// spreading only.
+	part := mustPartition(t, NewSelect(win(0, 100), operator.ColConst{Col: 2, Op: operator.GT, Val: tuple.Int(10)}))
+	if !part.Stateless {
+		t.Error("plan with no stateful operator must be Stateless")
+	}
+	if want := map[int][]int{0: {0, 1, 2}}; !reflect.DeepEqual(part.ByStream, want) {
+		t.Errorf("ByStream = %v, want %v", part.ByStream, want)
+	}
+}
+
+func TestPartitionKeySelfJoin(t *testing.T) {
+	// Same stream on both sides, same column: partitionable.
+	part := mustPartition(t, NewJoin(win(0, 100), win(0, 50), []int{0}, []int{0}))
+	if want := map[int][]int{0: {0}}; !reflect.DeepEqual(part.ByStream, want) {
+		t.Errorf("ByStream = %v, want %v", part.ByStream, want)
+	}
+	// Different columns: an arrival would need to live in two shards.
+	mustNotPartition(t, NewJoin(win(0, 100), win(0, 50), []int{0}, []int{2}),
+		"do not trace to a common column")
+}
+
+func TestPartitionKeyRejectsCountWindow(t *testing.T) {
+	n := NewJoin(
+		NewSource(0, window.Spec{Type: window.CountBased, Size: 10}, linkSchema()),
+		win(1, 100), []int{0}, []int{0})
+	mustNotPartition(t, n, "count-based window")
+}
+
+func TestPartitionKeyRejectsGlobalAggregate(t *testing.T) {
+	mustNotPartition(t, NewGroupBy(win(0, 100), nil, operator.AggSpec{Kind: operator.Count}),
+		"group-by aggregates globally")
+}
+
+func TestPartitionKeyRejectsGroupByOffKey(t *testing.T) {
+	// Grouping on a non-key column of a join output: the group column only
+	// traces to one side, so groups would straddle shards.
+	j := NewJoin(win(0, 100), win(1, 100), []int{0}, []int{0})
+	mustNotPartition(t, NewGroupBy(j, []int{1}, operator.AggSpec{Kind: operator.Count}),
+		"do not trace to a common column")
+}
+
+func TestPartitionKeyRejectsCrossKeyJoins(t *testing.T) {
+	// Outer join keyed on a column the inner join does not align: its key
+	// position covers only one inner stream.
+	inner := NewJoin(win(0, 100), win(1, 100), []int{0}, []int{0})
+	mustNotPartition(t, NewJoin(inner, win(2, 100), []int{2}, []int{0}),
+		"do not trace to a common column")
+}
+
+func TestPartitionKeyRejectsConflictingConstraints(t *testing.T) {
+	// Two joins over the same streams with incompatible keys: each is
+	// individually partitionable but no single routing key satisfies both.
+	j1 := NewJoin(win(0, 100), win(1, 100), []int{0}, []int{0})
+	j2 := NewJoin(win(0, 100), win(1, 100), []int{2}, []int{2})
+	mustNotPartition(t, NewUnion(j1, j2), "share no common partition key")
+}
+
+func TestPartitionKeyFromPhysical(t *testing.T) {
+	root := mustAnnotate(t, NewJoin(win(0, 100), win(1, 100), []int{0}, []int{0}))
+	phys, err := Build(root, UPA, Options{})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	part, err := PartitionKey(phys)
+	if err != nil {
+		t.Fatalf("PartitionKey: %v", err)
+	}
+	if want := map[int][]int{0: {0}, 1: {0}}; !reflect.DeepEqual(part.ByStream, want) {
+		t.Errorf("ByStream = %v, want %v", part.ByStream, want)
+	}
+}

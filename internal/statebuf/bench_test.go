@@ -44,6 +44,30 @@ func BenchmarkBufferChurn(b *testing.B) {
 	}
 }
 
+// BenchmarkBufferExpireHeavy measures the expire-dominated steady state: a
+// burst of inserts followed by one ExpireUpTo that drains the whole burst.
+// This is the path the scratch-slice reuse targets — in steady state the
+// returned slice comes from a recycled buffer, so the loop should settle at
+// zero allocations per expired tuple for every structure.
+func BenchmarkBufferExpireHeavy(b *testing.B) {
+	const burst = 256
+	for name, buf := range churnBuffers(burst) {
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				base := int64(i) * burst
+				for j := int64(0); j < burst; j++ {
+					buf.Insert(mk(base+j, base+j+1, j%97))
+				}
+				got := buf.ExpireUpTo(base + burst)
+				if len(got) != burst {
+					b.Fatalf("expired %d tuples, want %d", len(got), burst)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkBufferProbe measures locating tuples by key among `live`
 // residents — the join probe path (hash-indexed vs scan).
 func BenchmarkBufferProbe(b *testing.B) {

@@ -37,7 +37,10 @@ type Buffer interface {
 	// ExpireUpTo removes every stored tuple with Exp <= now and returns
 	// them, ordered by (Exp, TS). Operators that must react to expirations
 	// (duplicate elimination, group-by, negation) consume the return value;
-	// lazily-maintained operators may ignore it.
+	// lazily-maintained operators may ignore it. The returned slice is a
+	// scratch buffer owned by the implementation: it is only valid until the
+	// next ExpireUpTo call on the same buffer, and callers that need the
+	// tuples longer must copy them out.
 	ExpireUpTo(now int64) []tuple.Tuple
 
 	// Remove deletes one stored tuple whose values equal t's (the matching

@@ -20,6 +20,10 @@ type FIFOBuffer struct {
 	// invariant; expiration then degrades to a full scan so the Buffer
 	// contract still holds.
 	unsorted bool
+	// scratch backs ExpireUpTo's result slice across passes. Windows call
+	// ExpireUpTo once per maintenance tick to mint negative tuples, so
+	// reusing one buffer removes that per-tick allocation.
+	scratch []tuple.Tuple
 }
 
 // NewFIFO returns an empty FIFO buffer.
@@ -37,9 +41,11 @@ func (b *FIFOBuffer) Insert(t tuple.Tuple) {
 }
 
 // ExpireUpTo pops tuples with Exp <= now from the head. If the FIFO
-// invariant was ever violated it scans the whole buffer instead.
+// invariant was ever violated it scans the whole buffer instead. The
+// returned slice is only valid until the next ExpireUpTo call on this buffer
+// (see the Buffer contract).
 func (b *FIFOBuffer) ExpireUpTo(now int64) []tuple.Tuple {
-	var out []tuple.Tuple
+	out := b.scratch[:0]
 	if b.unsorted {
 		kept := b.items[:b.head]
 		for i := b.head; i < len(b.items); i++ {
@@ -55,7 +61,11 @@ func (b *FIFOBuffer) ExpireUpTo(now int64) []tuple.Tuple {
 		}
 		b.items = kept
 		b.compact()
-		return sortExpired(out)
+		if len(out) > 1 {
+			sortExpired(out)
+		}
+		b.scratch = out
+		return out
 	}
 	for b.head < len(b.items) {
 		b.touched++
@@ -67,7 +77,13 @@ func (b *FIFOBuffer) ExpireUpTo(now int64) []tuple.Tuple {
 		b.head++
 	}
 	b.compact()
-	return sortExpired(out)
+	// out is already Exp-ordered (the FIFO invariant held); the sort only
+	// settles TS ties, so skip it for the common 0/1-tuple pops.
+	if len(out) > 1 {
+		sortExpired(out)
+	}
+	b.scratch = out
+	return out
 }
 
 // Remove deletes one tuple with values equal to t's by scanning from the

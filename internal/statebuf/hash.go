@@ -16,6 +16,9 @@ type HashBuffer struct {
 	buckets map[tuple.Key][]tuple.Tuple
 	size    int
 	touched int64
+	// scratch backs ExpireUpTo's result slice across passes, so the
+	// expire-heavy steady state allocates nothing.
+	scratch []tuple.Tuple
 }
 
 // NewHash returns a hash buffer keyed on the given column positions.
@@ -37,9 +40,11 @@ func (b *HashBuffer) Insert(t tuple.Tuple) {
 	b.size++
 }
 
-// ExpireUpTo scans all buckets for tuples with Exp <= now.
+// ExpireUpTo scans all buckets for tuples with Exp <= now. The returned
+// slice is only valid until the next ExpireUpTo call on this buffer (see the
+// Buffer contract).
 func (b *HashBuffer) ExpireUpTo(now int64) []tuple.Tuple {
-	var out []tuple.Tuple
+	out := b.scratch[:0]
 	for k, bucket := range b.buckets {
 		kept := bucket[:0]
 		for _, t := range bucket {
@@ -57,7 +62,11 @@ func (b *HashBuffer) ExpireUpTo(now int64) []tuple.Tuple {
 		}
 	}
 	b.size -= len(out)
-	return sortExpired(out)
+	if len(out) > 1 {
+		sortExpired(out)
+	}
+	b.scratch = out
+	return out
 }
 
 // Remove deletes one tuple with values equal to t's from its bucket,

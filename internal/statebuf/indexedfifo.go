@@ -21,6 +21,8 @@ type IndexedFIFO struct {
 	// invariant (e.g. a union of windows with different sizes); expiration
 	// then falls back to scanning the index so the Buffer contract holds.
 	unsorted bool
+	// scratch backs ExpireUpTo's result slice across passes.
+	scratch []tuple.Tuple
 }
 
 // NewIndexedFIFO builds an indexed FIFO keyed on the given columns.
@@ -41,7 +43,9 @@ func (b *IndexedFIFO) Insert(t tuple.Tuple) {
 
 // ExpireUpTo pops due tuples from the queue head, removing each from the
 // index; stale queue entries (already retracted) are skipped. If the FIFO
-// invariant was ever violated it scans the index instead.
+// invariant was ever violated it scans the index instead. The returned slice
+// is only valid until the next ExpireUpTo call on this buffer (see the Buffer
+// contract).
 func (b *IndexedFIFO) ExpireUpTo(now int64) []tuple.Tuple {
 	if b.unsorted {
 		out := b.hash.ExpireUpTo(now)
@@ -60,7 +64,7 @@ func (b *IndexedFIFO) ExpireUpTo(now int64) []tuple.Tuple {
 		}
 		return out
 	}
-	var out []tuple.Tuple
+	out := b.scratch[:0]
 	for b.head < len(b.queue) {
 		t := b.queue[b.head]
 		if t.Exp > now {
@@ -73,7 +77,11 @@ func (b *IndexedFIFO) ExpireUpTo(now int64) []tuple.Tuple {
 		}
 	}
 	b.compact()
-	return sortExpired(out)
+	if len(out) > 1 {
+		sortExpired(out)
+	}
+	b.scratch = out
+	return out
 }
 
 // Remove deletes one matching tuple from the index; its queue entry goes

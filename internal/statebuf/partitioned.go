@@ -27,6 +27,9 @@ type PartitionedBuffer struct {
 	size     int
 	byExp    bool // partitions sorted by Exp (eager) vs insertion order (lazy)
 	touched  int64
+	// scratch backs ExpireUpTo's result slice across passes (the calendar is
+	// pumped every maintenance tick, so per-pass allocation would dominate).
+	scratch []tuple.Tuple
 }
 
 type partition struct {
@@ -108,9 +111,11 @@ func (b *PartitionedBuffer) place(bkt int64, t tuple.Tuple) {
 }
 
 // ExpireUpTo removes and returns every tuple with Exp <= now, visiting only
-// the partitions whose buckets are due plus the boundary partition.
+// the partitions whose buckets are due plus the boundary partition. The
+// returned slice is only valid until the next ExpireUpTo call on this buffer
+// (see the Buffer contract).
 func (b *PartitionedBuffer) ExpireUpTo(now int64) []tuple.Tuple {
-	var out []tuple.Tuple
+	out := b.scratch[:0]
 	hi := b.bucket(now)
 	if b.lowBkt > hi {
 		// Nothing can be due, but past-due parked tuples in lowBkt might be.
@@ -165,7 +170,11 @@ func (b *PartitionedBuffer) ExpireUpTo(now int64) []tuple.Tuple {
 	}
 	b.size -= len(out)
 	out = b.drainOverflow(now, out)
-	return sortExpired(out)
+	if len(out) > 1 {
+		sortExpired(out)
+	}
+	b.scratch = out
+	return out
 }
 
 // drainOverflow migrates overflow tuples that are now within the horizon (or

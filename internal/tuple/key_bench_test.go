@@ -1,0 +1,103 @@
+package tuple
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Key construction sits on the hot path of every keyed buffer, join probe,
+// and shard-routing decision, so the narrow (≤3 column) form must not
+// allocate at all and the wide form must allocate only its single backing
+// buffer.
+
+func benchTuple(width int) Tuple {
+	vals := make([]Value, width)
+	for i := range vals {
+		switch i % 3 {
+		case 0:
+			vals[i] = Int(int64(i) * 7)
+		case 1:
+			vals[i] = String_("proto")
+		default:
+			vals[i] = Float(float64(i) + 0.5)
+		}
+	}
+	return Tuple{TS: 1, Exp: 100, Vals: vals}
+}
+
+func seqCols(n int) []int {
+	cols := make([]int, n)
+	for i := range cols {
+		cols[i] = i
+	}
+	return cols
+}
+
+// TestKeyNarrowZeroAllocs pins the allocation contract: packing up to three
+// columns into a Key performs zero heap allocations.
+func TestKeyNarrowZeroAllocs(t *testing.T) {
+	tup := benchTuple(3)
+	for n := 1; n <= 3; n++ {
+		cols := seqCols(n)
+		allocs := testing.AllocsPerRun(1000, func() {
+			k := tup.Key(cols)
+			if k.n != n {
+				t.Fatal("bad key")
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("Key over %d columns: %v allocs/op, want 0", n, allocs)
+		}
+	}
+}
+
+// TestKeyWideSingleAlloc pins the wide path to exactly one allocation (the
+// packed string) now that fmt is out of the loop.
+func TestKeyWideSingleAlloc(t *testing.T) {
+	tup := benchTuple(6)
+	cols := seqCols(6)
+	allocs := testing.AllocsPerRun(1000, func() {
+		k := tup.Key(cols)
+		if k.n != 6 {
+			t.Fatal("bad key")
+		}
+	})
+	if allocs > 1 {
+		t.Errorf("Key over 6 columns: %v allocs/op, want <= 1", allocs)
+	}
+}
+
+// TestKeyWideEquivalence checks the manual byte rendering agrees with the
+// Value.String contract the old fmt-based packing used, so equal tuples
+// still collide and unequal ones still separate.
+func TestKeyWideEquivalence(t *testing.T) {
+	cols := seqCols(4)
+	a := Tuple{Vals: []Value{Int(7), String_("ftp"), Float(2.5), Null}}
+	b := Tuple{Vals: []Value{Float(7), String_("ftp"), Float(2.5), Null}} // integral float ≡ int
+	c := Tuple{Vals: []Value{Int(7), String_("ftp"), Float(2.5), Int(0)}}
+	if a.Key(cols) != b.Key(cols) {
+		t.Error("integral float and int must produce equal wide keys")
+	}
+	if a.Key(cols) == c.Key(cols) {
+		t.Error("NULL and 0 must produce distinct wide keys")
+	}
+	want := "7/1\x1fftp/3\x1f2.5/2\x1fNULL/0"
+	if got := a.Key(cols); got.wide != want {
+		t.Errorf("wide rendering = %q, want %q", got.wide, want)
+	}
+}
+
+func BenchmarkKey(b *testing.B) {
+	for _, width := range []int{1, 2, 3, 4, 8} {
+		tup := benchTuple(width)
+		cols := seqCols(width)
+		b.Run(fmt.Sprintf("cols%d", width), func(b *testing.B) {
+			b.ReportAllocs()
+			var sink uint64
+			for i := 0; i < b.N; i++ {
+				sink += tup.Key(cols).Hash64()
+			}
+			_ = sink
+		})
+	}
+}

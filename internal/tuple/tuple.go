@@ -3,6 +3,7 @@ package tuple
 import (
 	"fmt"
 	"math"
+	"strconv"
 	"strings"
 )
 
@@ -79,14 +80,32 @@ func (t Tuple) Key(cols []int) Key {
 			k.v[i] = canonical(t.Vals[c])
 		}
 	case len(cols) > 3:
+		// Manual byte appends into one pre-grown builder: rendering through
+		// fmt would allocate per column on this already-slow path, and
+		// Builder.String hands over its buffer without copying.
 		var b strings.Builder
+		b.Grow(16 * len(cols))
+		var num [40]byte // scratch for numeric renderings, stays on the stack
 		for i, c := range cols {
 			if i > 0 {
 				b.WriteByte('\x1f')
 			}
 			v := canonical(t.Vals[c])
-			b.WriteString(v.String())
-			fmt.Fprintf(&b, "/%d", v.Kind)
+			switch v.Kind {
+			case KindNull:
+				b.WriteString("NULL")
+			case KindInt:
+				b.Write(strconv.AppendInt(num[:0], v.I, 10))
+			case KindFloat:
+				b.Write(strconv.AppendFloat(num[:0], v.F, 'g', -1, 64))
+			case KindString:
+				b.WriteString(v.S)
+			default:
+				b.WriteByte('?')
+				b.Write(strconv.AppendUint(num[:0], uint64(v.Kind), 10))
+			}
+			b.WriteByte('/')
+			b.Write(strconv.AppendUint(num[:0], uint64(v.Kind), 10))
 		}
 		k.wide = b.String()
 	}

@@ -79,6 +79,9 @@ type Window struct {
 	buf         *statebuf.FIFOBuffer
 	lastTS      int64
 	count       int64
+	// scratch backs the evicted-tuples slice Arrive returns for count-based
+	// windows, so steady-state eviction allocates nothing.
+	scratch []tuple.Tuple
 }
 
 // New builds a window; materialize controls whether contents are stored
@@ -113,7 +116,9 @@ func (w *Window) Len() int {
 // count-based windows returns the tuples evicted to keep the window at its
 // size bound (as negative-tuple-ready originals).
 //
-// The returned stamped tuple is what flows into the query plan.
+// The returned stamped tuple is what flows into the query plan. The evicted
+// slice is scratch owned by the window: it is only valid until the next
+// Arrive call, and callers that need the tuples longer must copy them out.
 func (w *Window) Arrive(t tuple.Tuple) (stamped tuple.Tuple, evicted []tuple.Tuple, err error) {
 	if t.Neg {
 		return tuple.Tuple{}, nil, fmt.Errorf("window: base streams are append-only; negative arrival %v", t)
@@ -142,7 +147,7 @@ func (w *Window) Arrive(t tuple.Tuple) (stamped tuple.Tuple, evicted []tuple.Tup
 }
 
 func (w *Window) evictOldest(n int64) []tuple.Tuple {
-	var out []tuple.Tuple
+	out := w.scratch[:0]
 	for i := int64(0); i < n; i++ {
 		var oldest *tuple.Tuple
 		w.buf.Scan(func(t tuple.Tuple) bool {
@@ -158,6 +163,7 @@ func (w *Window) evictOldest(n int64) []tuple.Tuple {
 		}
 		out = append(out, got)
 	}
+	w.scratch = out
 	return out
 }
 

@@ -148,3 +148,24 @@ func TestNewValidatesSpec(t *testing.T) {
 		t.Error("invalid spec accepted")
 	}
 }
+
+// BenchmarkCountWindowEviction exercises the arrival-driven eviction path:
+// once the window is full every Arrive evicts one tuple, and the returned
+// evicted slice must come from the window's reusable scratch (the only
+// allocation per iteration is the arriving tuple's value slice).
+func BenchmarkCountWindowEviction(b *testing.B) {
+	w, err := New(Spec{Type: CountBased, Size: 64}, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, evicted, err := w.Arrive(tuple.New(int64(i), tuple.Int(int64(i))))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i >= 64 && len(evicted) != 1 {
+			b.Fatalf("evicted %d tuples at %d", len(evicted), i)
+		}
+	}
+}

@@ -88,5 +88,11 @@ func ServeMetrics(addr string, reg *MetricsRegistry) (*MetricsServer, error) {
 }
 
 // Metrics returns the registry backing the engine's counters (the one
-// given WithMetrics, or the engine's private registry).
-func (e *Engine) Metrics() *MetricsRegistry { return e.Engine.Metrics() }
+// given WithMetrics, or the engine's private registry). A sharded engine's
+// shards share one registry, with per-shard series labeled shard="i".
+func (e *Engine) Metrics() *MetricsRegistry {
+	if e.sh != nil {
+		return e.sh.Metrics()
+	}
+	return e.seq.Metrics()
+}

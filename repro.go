@@ -88,6 +88,8 @@ type (
 	TableUpdate = relation.Update
 	// Stats are executor counters.
 	Stats = exec.Stats
+	// Arrival is one base-stream tuple for batched ingest (PushBatch).
+	Arrival = exec.Arrival
 )
 
 // Scalar kind tags.
@@ -167,6 +169,7 @@ type compileCfg struct {
 	execCfg  exec.Config
 	optimize bool
 	stats    plan.Stats
+	shards   int
 }
 
 // WithPartitions sets the partition count of partitioned state buffers
@@ -207,6 +210,14 @@ func WithOptimizer() Option {
 	return func(c *compileCfg) { c.optimize = true }
 }
 
+// WithShards runs the query key-partitioned across n parallel shards when
+// the plan admits a routing key (see plan.PartitionKey); otherwise the
+// engine silently runs sequentially and ShardFallbackReason explains why.
+// Sharded engines should be Closed when done to stop their workers.
+func WithShards(n int) Option {
+	return func(c *compileCfg) { c.shards = n }
+}
+
 // WithStreamStats supplies estimation statistics for one stream (arrival
 // rate and per-column distinct counts), improving cost-based decisions.
 func WithStreamStats(streamID int, rate float64, distinct map[int]float64) Option {
@@ -218,9 +229,13 @@ func WithStreamStats(streamID int, rate float64, distinct map[int]float64) Optio
 	}
 }
 
-// Engine executes one compiled continuous query.
+// Engine executes one compiled continuous query, either on a single
+// sequential executor or key-partitioned across parallel shards
+// (WithShards). Exactly one of seq/sh is set; every method delegates to
+// whichever is live.
 type Engine struct {
-	*exec.Engine
+	seq  *exec.Engine
+	sh   *exec.Sharded
 	phys *plan.Physical
 	root *plan.Node
 }
@@ -250,11 +265,152 @@ func Compile(q Node, strategy Strategy, opts ...Option) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.shards > 1 {
+		sh, err := exec.NewSharded(phys, cfg.execCfg, cfg.shards)
+		if err != nil {
+			return nil, err
+		}
+		return &Engine{sh: sh, phys: phys, root: root}, nil
+	}
 	eng, err := exec.New(phys, cfg.execCfg)
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{Engine: eng, phys: phys, root: root}, nil
+	return &Engine{seq: eng, phys: phys, root: root}, nil
+}
+
+// Push feeds one stream tuple at its timestamp.
+func (e *Engine) Push(streamID int, ts int64, vals ...Value) error {
+	if e.sh != nil {
+		return e.sh.Push(streamID, ts, vals...)
+	}
+	return e.seq.Push(streamID, ts, vals...)
+}
+
+// PushBatch feeds many stream tuples at once — semantically identical to
+// pushing each in order, but amortizes per-call overhead and, on sharded
+// engines, keeps every shard's ingest queue full.
+func (e *Engine) PushBatch(batch []Arrival) error {
+	if e.sh != nil {
+		return e.sh.PushBatch(batch)
+	}
+	return e.seq.PushBatch(batch)
+}
+
+// Advance moves logical time forward without a tuple arrival.
+func (e *Engine) Advance(ts int64) error {
+	if e.sh != nil {
+		return e.sh.Advance(ts)
+	}
+	return e.seq.Advance(ts)
+}
+
+// Sync forces all pending maintenance so the view is Definition-1 exact.
+func (e *Engine) Sync() error {
+	if e.sh != nil {
+		return e.sh.Sync()
+	}
+	return e.seq.Sync()
+}
+
+// Snapshot syncs and copies the current result rows.
+func (e *Engine) Snapshot() ([]Tuple, error) {
+	if e.sh != nil {
+		return e.sh.Snapshot()
+	}
+	return e.seq.Snapshot()
+}
+
+// ResultCount syncs and returns the current result cardinality.
+func (e *Engine) ResultCount() (int, error) {
+	if e.sh != nil {
+		return e.sh.ResultCount()
+	}
+	return e.seq.ResultCount()
+}
+
+// Stats returns executor counters (summed across shards when sharded).
+func (e *Engine) Stats() Stats {
+	if e.sh != nil {
+		return e.sh.Stats()
+	}
+	return e.seq.Stats()
+}
+
+// Clock returns the engine's logical time.
+func (e *Engine) Clock() int64 {
+	if e.sh != nil {
+		return e.sh.Clock()
+	}
+	return e.seq.Clock()
+}
+
+// Streams returns the base stream IDs the query reads.
+func (e *Engine) Streams() []int {
+	if e.sh != nil {
+		return e.sh.Streams()
+	}
+	return e.seq.Streams()
+}
+
+// StateTuples syncs and returns the total stored tuples (state + view),
+// summed across shards when sharded.
+func (e *Engine) StateTuples() (int, error) {
+	if e.sh != nil {
+		return e.sh.StateTuples()
+	}
+	if err := e.seq.Sync(); err != nil {
+		return 0, err
+	}
+	return e.seq.StateTuples(), nil
+}
+
+// Touched syncs and returns cumulative tuple touches — the paper's
+// Section 6 work measure — summed across shards when sharded.
+func (e *Engine) Touched() (int64, error) {
+	if e.sh != nil {
+		return e.sh.Touched()
+	}
+	if err := e.seq.Sync(); err != nil {
+		return 0, err
+	}
+	return e.seq.Touched(), nil
+}
+
+// View exposes the sequential engine's result view, or nil on a sharded
+// engine (each shard owns a private view; use Snapshot or Lookup instead).
+func (e *Engine) View() exec.View {
+	if e.sh != nil {
+		return nil
+	}
+	return e.seq.View()
+}
+
+// Shards returns the number of parallel shards executing the query (1 when
+// sequential, including after a partitionability fallback).
+func (e *Engine) Shards() int {
+	if e.sh != nil {
+		return e.sh.Shards()
+	}
+	return 1
+}
+
+// ShardFallbackReason explains why a WithShards request degraded to
+// sequential execution; it is empty when sharding is active or was never
+// requested.
+func (e *Engine) ShardFallbackReason() string {
+	if e.sh != nil {
+		return e.sh.FallbackReason()
+	}
+	return ""
+}
+
+// Close stops shard workers. Safe (and a no-op) on sequential engines, and
+// safe to call more than once.
+func (e *Engine) Close() {
+	if e.sh != nil {
+		e.sh.Close()
+	}
 }
 
 // Schema returns the result schema.
@@ -280,31 +436,46 @@ func (e *Engine) Explain(w io.Writer) error {
 // (FIFO/list/partitioned views under DIRECT and most UPA plans — use
 // Snapshot there).
 func (e *Engine) Lookup(vals ...Value) ([]Tuple, bool) {
-	lv, ok := e.Engine.View().(exec.Lookup)
+	cols := make([]int, len(vals))
+	for i := range cols {
+		cols[i] = i
+	}
+	probe := tuple.Tuple{Vals: vals}
+	if e.sh != nil {
+		if err := e.sh.Sync(); err != nil {
+			return nil, false
+		}
+		return e.sh.LookupKey(probe.Key(cols))
+	}
+	lv, ok := e.seq.View().(exec.Lookup)
 	if !ok {
 		return nil, false
 	}
 	if err := e.Sync(); err != nil {
 		return nil, false
 	}
-	cols := make([]int, len(vals))
-	for i := range cols {
-		cols[i] = i
-	}
-	probe := tuple.Tuple{Vals: vals}
 	return lv.LookupKey(probe.Key(cols))
 }
 
 // UpdateTable applies one table mutation at its timestamp, routing the
 // consequences (for retroactive tables) through the plan.
 func (e *Engine) UpdateTable(tbl *Table, u TableUpdate) error {
-	return e.Engine.ApplyTableUpdate(tbl, u)
+	if e.sh != nil {
+		return e.sh.ApplyTableUpdate(tbl, u)
+	}
+	return e.seq.ApplyTableUpdate(tbl, u)
 }
 
 // WriteProfile renders per-operator runtime counters (state size, tuple
 // touches, emissions, retractions) as an aligned tree — an EXPLAIN ANALYZE
-// for the running continuous query.
-func (e *Engine) WriteProfile(w io.Writer) error { return e.Engine.WriteProfile(w) }
+// for the running continuous query. Sharded engines print one tree per
+// shard.
+func (e *Engine) WriteProfile(w io.Writer) error {
+	if e.sh != nil {
+		return e.sh.WriteProfile(w)
+	}
+	return e.seq.WriteProfile(w)
+}
 
 // Trace re-exports: the synthetic LBL-style traffic workload of Section 6.1.
 type (
