@@ -8,20 +8,27 @@
 //	upaquery -query q1-ftp -strategy upa -window 5000
 //	upaquery -query q1-ftp -strategy upa -shards 4
 //	upaquery -query q3 -strategy nt -window 2000 -trace trace.csv
+//	upaquery -query q3 -strategy upa -explain
+//	upaquery -query q3 -strategy upa -analyze
 //	upaquery -cql "SELECT DISTINCT src FROM S0 [RANGE 2000]" -links 1
 //	upaquery -query q3 -strategy nt -metrics-addr :9090 -trace-out events.jsonl
 //	upaquery -list
 //
-// With -metrics-addr the run serves live Prometheus text-format metrics at
-// /metrics (plus /metrics.json, /debug/vars, and /debug/pprof/) while it is
-// in progress; with -trace-out every typed engine event (arrivals,
-// emissions, retractions, window expirations, maintenance passes) is
-// written as JSON Lines.
+// -explain prints the annotated physical plan (per-operator update-pattern
+// class, state structures, partition-key status) and exits without running;
+// -analyze runs the trace and then prints the same tree with each
+// operator's live counters (EXPLAIN ANALYZE). With -metrics-addr the run
+// serves live Prometheus text-format metrics at /metrics (plus
+// /metrics.json, /debug/vars, /debug/pprof/, and the running plan at
+// /debug/plan?analyze=1) while it is in progress; with -trace-out every
+// typed engine event (arrivals, emissions, retractions, window expirations,
+// maintenance passes) is written as JSON Lines.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"sort"
 	"strings"
@@ -60,6 +67,8 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "serve live metrics/pprof on this address (e.g. :9090)")
 	traceOut := flag.String("trace-out", "", "write typed engine events as JSON Lines to this file")
 	progressEvery := flag.Duration("progress", time.Second, "progress-line interval (0 disables)")
+	explain := flag.Bool("explain", false, "print the annotated physical plan (EXPLAIN) and exit")
+	analyze := flag.Bool("analyze", false, "after the run, print the plan with live per-operator counters (EXPLAIN ANALYZE)")
 	list := flag.Bool("list", false, "list query names and exit")
 	flag.Parse()
 
@@ -76,14 +85,15 @@ func main() {
 		return
 	}
 	if err := run(*query, *cqlText, *links, *strategy, *windowSize, *duration, *traceFile,
-		*partitions, *shards, *metricsAddr, *traceOut, *progressEvery); err != nil {
+		*partitions, *shards, *metricsAddr, *traceOut, *progressEvery, *explain, *analyze); err != nil {
 		fmt.Fprintln(os.Stderr, "upaquery:", err)
 		os.Exit(1)
 	}
 }
 
 func run(queryName, cqlText string, cqlLinks int, strategyName string, windowSize, duration int64,
-	traceFile string, partitions, shards int, metricsAddr, traceOut string, progressEvery time.Duration) error {
+	traceFile string, partitions, shards int, metricsAddr, traceOut string, progressEvery time.Duration,
+	explain, analyze bool) error {
 	var q bench.Query
 	var root *plan.Node
 	nLinks := 0
@@ -135,6 +145,9 @@ func run(queryName, cqlText string, cqlLinks int, strategyName string, windowSiz
 	if err != nil {
 		return err
 	}
+	if explain {
+		return plan.Explain(phys).WriteText(os.Stdout)
+	}
 	lazy := windowSize / 20
 	if lazy < 1 {
 		lazy = 1
@@ -145,12 +158,6 @@ func run(queryName, cqlText string, cqlLinks int, strategyName string, windowSiz
 	if metricsAddr != "" {
 		reg = obs.NewRegistry()
 		cfg.Metrics = reg
-		srv, err := obs.Serve(metricsAddr, reg)
-		if err != nil {
-			return fmt.Errorf("metrics endpoint: %w", err)
-		}
-		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "serving metrics on http://%s/metrics (pprof at /debug/pprof/)\n", srv.Addr())
 	}
 	var tracer *obs.Tracer
 	if traceOut != "" {
@@ -183,6 +190,36 @@ func run(queryName, cqlText string, cqlLinks int, strategyName string, windowSiz
 		if err != nil {
 			return err
 		}
+	}
+	explainTree := func(an bool) *plan.ExplainTree {
+		if sh != nil {
+			return sh.Explain(an)
+		}
+		return seq.Explain(an)
+	}
+	if reg != nil {
+		// The plan page reads only atomic instruments, so serving it while
+		// the run is in flight is safe.
+		planPage := obs.Page{
+			Path:  "/debug/plan",
+			Title: "EXPLAIN of the running plan (?analyze=1, ?format=dot)",
+			Handler: func(w http.ResponseWriter, r *http.Request) {
+				t := explainTree(r.URL.Query().Get("analyze") != "")
+				if r.URL.Query().Get("format") == "dot" {
+					w.Header().Set("Content-Type", "text/vnd.graphviz; charset=utf-8")
+					_ = t.WriteDOT(w)
+					return
+				}
+				w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+				_ = t.WriteText(w)
+			},
+		}
+		srv, err := obs.Serve(metricsAddr, reg, planPage)
+		if err != nil {
+			return fmt.Errorf("metrics endpoint: %w", err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "serving metrics on http://%s/metrics (plan at /debug/plan, pprof at /debug/pprof/)\n", srv.Addr())
 	}
 
 	var recs []trace.Record
@@ -279,6 +316,12 @@ func run(queryName, cqlText string, cqlLinks int, strategyName string, windowSiz
 		st.Emitted, st.Retracted, st.WindowNegatives)
 	fmt.Printf("current result size %d, peak stored tuples %d, tuple touches %d\n",
 		resultLen, st.MaxStateTuples, touched)
+	if analyze {
+		fmt.Println()
+		if err := explainTree(true).WriteText(os.Stdout); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

@@ -110,7 +110,8 @@ func sweep(id, title string, q Query, variants []Variant, s Scale) ([]Table, err
 		stateTab.Rows = append(stateTab.Rows, stateRow)
 	}
 	metTab := metricsTable(id, title, windows[len(windows)-1], variants, lastResults)
-	return []Table{timeTab, stateTab, metTab}, nil
+	opsTab := opsTable(id, title, windows[len(windows)-1], variants, lastResults)
+	return []Table{timeTab, stateTab, metTab, opsTab}, nil
 }
 
 // metricsTable embeds each variant's end-of-run engine metric snapshot —
@@ -144,6 +145,29 @@ func metricsTable(id, title string, window int64, variants []Variant, results []
 		peak = append(peak, fmt.Sprint(res.Metrics.Gauges[exec.MetricStateTuplesPeak]))
 	}
 	tab.Rows = append(tab.Rows, peak)
+	return tab
+}
+
+// opsTable embeds each variant's per-operator profile (the EXPLAIN ANALYZE
+// counters) for the sweep's largest window, one row per (variant, operator)
+// in plan pre-order.
+func opsTable(id, title string, window int64, variants []Variant, results []Result) Table {
+	tab := Table{
+		ID:      id + "-ops",
+		Title:   fmt.Sprintf("%s — per-operator profile (window %d)", title, window),
+		Columns: []string{"variant", "id", "operator", "edge", "in+", "in-", "out+", "out-", "expired", "state", "touched"},
+		Notes:   "Plan pre-order per variant (root id=0); the same counters upaquery -analyze and /debug/plan render live.",
+	}
+	for i, res := range results {
+		for _, p := range res.Ops {
+			tab.Rows = append(tab.Rows, []string{
+				variants[i].Name, fmt.Sprint(p.ID), p.Class, p.Pattern,
+				fmt.Sprint(p.InPos), fmt.Sprint(p.InNeg),
+				fmt.Sprint(p.Emitted), fmt.Sprint(p.Retracted),
+				fmt.Sprint(p.Expired), fmt.Sprint(p.StateTuples), fmt.Sprint(p.Touched),
+			})
+		}
+	}
 	return tab
 }
 

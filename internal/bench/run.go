@@ -117,6 +117,10 @@ type Result struct {
 	// gauges, and per-operator series) — the registry-backed view of the
 	// same measures, embedded in experiment report tables.
 	Metrics obs.Snapshot
+	// Ops is the run's per-operator profile in plan pre-order (root = 0),
+	// summed across shards for a sharded run — the EXPLAIN ANALYZE view of
+	// the same execution, embedded in experiment report tables.
+	Ops []exec.OpProfile
 }
 
 // Run executes query q once under rc and reports the measurements.
@@ -193,6 +197,7 @@ func Run(q Query, rc RunConfig) (Result, error) {
 		WindowNegatives: st.WindowNegatives,
 		FinalResults:    eng.View().Len(),
 		Metrics:         eng.Metrics().Snapshot(),
+		Ops:             eng.Profile(),
 		Shards:          1,
 	}, nil
 }
@@ -256,6 +261,7 @@ func runSharded(q Query, rc RunConfig, phys *plan.Physical, cfg exec.Config, gen
 		WindowNegatives: st.WindowNegatives,
 		FinalResults:    finalResults,
 		Metrics:         sh.Metrics().Snapshot(),
+		Ops:             sh.Profile(),
 		Shards:          sh.Shards(),
 		ShardFallback:   sh.FallbackReason(),
 	}, nil

@@ -1,0 +1,55 @@
+package exec
+
+import (
+	"repro/internal/plan"
+)
+
+// Explain returns the renderable plan tree. With analyze set, each operator
+// node carries its live counters (EXPLAIN ANALYZE); the counters are read
+// with atomic loads, so calling it while the engine runs is safe.
+func (e *Engine) Explain(analyze bool) *plan.ExplainTree {
+	t := plan.Explain(e.phys)
+	if analyze {
+		attachStats(t, e.Profile(), 1, e.Clock(), e.Watermark())
+	}
+	return t
+}
+
+// Explain returns the renderable plan tree for the coordinator's plan. With
+// analyze set, operator counters are the sums over all shards (batch
+// latencies take the max) and the watermark is the oldest shard watermark.
+func (s *Sharded) Explain(analyze bool) *plan.ExplainTree {
+	t := plan.Explain(s.phys)
+	if analyze {
+		attachStats(t, s.Profile(), len(s.shards), s.Clock(), s.Watermark())
+	}
+	return t
+}
+
+// attachStats marks the tree analyzed and pins each operator's profile row
+// to its node. Both sides number operators by pre-order position, so
+// ExplainNode.ID indexes straight into profs.
+func attachStats(t *plan.ExplainTree, profs []OpProfile, shards int, clock, watermark int64) {
+	t.Analyzed = true
+	t.Shards = shards
+	t.Clock = clock
+	t.Watermark = watermark
+	t.Walk(func(n *plan.ExplainNode) {
+		if n.ID < 0 || n.ID >= len(profs) {
+			return
+		}
+		p := profs[n.ID]
+		n.Stats = &plan.NodeStats{
+			InPos:          p.InPos,
+			InNeg:          p.InNeg,
+			OutPos:         p.Emitted,
+			OutNeg:         p.Retracted,
+			Expired:        p.Expired,
+			State:          int64(p.StateTuples),
+			Touched:        p.Touched,
+			ProcNanos:      p.ProcNanos,
+			MaxBatchNanos:  p.MaxBatchNanos,
+			LastBatchNanos: p.LastBatchNanos,
+		}
+	})
+}

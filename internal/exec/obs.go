@@ -30,6 +30,11 @@ const (
 	MetricViewExpired = "upa_view_expired_total"
 	// MetricClock is the engine's logical time.
 	MetricClock = "upa_clock"
+	// MetricWatermark is the low-watermark timestamp: all expirations with
+	// timestamp ≤ watermark are fully reflected in the result view. It is
+	// min(last eager pass, last lazy pass) and trails MetricClock by at most
+	// max(EagerInterval, LazyInterval).
+	MetricWatermark = "upa_watermark"
 	// MetricStateTuples is the sampled total of stored tuples (operator
 	// state + materialized windows + result view).
 	MetricStateTuples = "upa_state_tuples"
@@ -40,21 +45,49 @@ const (
 	// MetricPushNanos is the per-Push wall-clock latency histogram,
 	// recorded only when Config.Metrics is set.
 	MetricPushNanos = "upa_push_nanos"
-	// MetricOpEmitted / MetricOpRetracted are per-operator output counts,
-	// labeled {op, node} where node is the operator's pre-order index in
-	// the plan (root = 0) — the series behind Profile().
+	// MetricRefreshNanos is the result-refresh latency histogram: the
+	// wall-clock cost of each Sync (forcing all pending expirations into the
+	// view). Recorded only when Config.Metrics is set.
+	MetricRefreshNanos = "upa_refresh_nanos"
+)
+
+// Per-operator metric names. Every series is labeled {op, id} (plus any
+// Config.MetricLabels such as shard) where id is the operator's pre-order
+// index in the plan (root = 0) — the same numbering plan.Explain and
+// Profile() use.
+const (
+	// MetricOpEmitted / MetricOpRetracted count the positive and negative
+	// tuples the operator produced on its output edge.
 	MetricOpEmitted   = "upa_op_emitted_total"
 	MetricOpRetracted = "upa_op_retracted_total"
+	// MetricOpInPos / MetricOpInNeg count tuples arriving on the operator's
+	// inputs, split by polarity.
+	MetricOpInPos = "upa_op_in_pos_total"
+	MetricOpInNeg = "upa_op_in_neg_total"
+	// MetricOpExpired counts output tuples the operator produced from
+	// expiration work (Advance passes) rather than input processing.
+	MetricOpExpired = "upa_op_expired_total"
+	// MetricOpState is the operator's sampled stored-tuple count.
+	MetricOpState = "upa_op_state_tuples"
+	// MetricOpTouched is the operator's sampled cumulative tuple-visit count.
+	MetricOpTouched = "upa_op_touched_total"
+	// MetricOpProcNanos is cumulative wall time inside the operator's
+	// Process, recorded only when Config.Metrics is set.
+	MetricOpProcNanos = "upa_op_proc_nanos_total"
+	// MetricOpBatchMax / MetricOpBatchLast bound one Process call's latency.
+	MetricOpBatchMax  = "upa_op_batch_nanos_max"
+	MetricOpBatchLast = "upa_op_batch_nanos_last"
 )
 
 // engineMetrics bundles the engine's registered instruments. The registry
 // is the single source of truth: Stats() and Profile() read these same
 // counters.
 type engineMetrics struct {
-	arrivals, emitted, retracted, windowNegatives    *obs.Counter
+	arrivals, emitted, retracted, windowNegatives      *obs.Counter
 	eagerPasses, lazyPasses, tableUpdates, viewExpired *obs.Counter
-	clock, stateTuples, maxStateTuples, viewRows     *obs.Gauge
-	pushNanos                                        *obs.Histogram
+	clock, watermark                                   *obs.Gauge
+	stateTuples, maxStateTuples, viewRows              *obs.Gauge
+	pushNanos, refreshNanos                            *obs.Histogram
 }
 
 func newEngineMetrics(reg *obs.Registry, base obs.Labels) engineMetrics {
@@ -68,43 +101,64 @@ func newEngineMetrics(reg *obs.Registry, base obs.Labels) engineMetrics {
 		tableUpdates:    reg.Counter(MetricTableUpdates, "table updates applied", base),
 		viewExpired:     reg.Counter(MetricViewExpired, "result rows retired by view expiration", base),
 		clock:           reg.Gauge(MetricClock, "engine logical time", base),
+		watermark:       reg.Gauge(MetricWatermark, "timestamp up to which expirations are reflected in the view", base),
 		stateTuples:     reg.Gauge(MetricStateTuples, "stored tuples (sampled)", base),
 		maxStateTuples:  reg.Gauge(MetricStateTuplesPeak, "peak stored tuples", base),
 		viewRows:        reg.Gauge(MetricViewRows, "result view cardinality (sampled)", base),
 		pushNanos:       reg.Histogram(MetricPushNanos, "Push wall-clock latency in nanoseconds", obs.DefaultLatencyBuckets(), base),
+		refreshNanos:    reg.Histogram(MetricRefreshNanos, "Sync (result refresh) wall-clock latency in nanoseconds", obs.DefaultLatencyBuckets(), base),
 	}
 }
 
-// opCounters registers the per-operator emission series for every plan
-// node, labeled with the operator class and its pre-order index so the
-// exposition output lines up with Profile()'s tree order. base labels (e.g.
+// opStats is one operator's stats cell: every field is a registered
+// instrument, so updates are single atomic adds and the cell can be read
+// from any goroutine (the /debug/plan page scrapes mid-run). Counters are
+// always maintained; the wall-clock fields are written only when the engine
+// is timed.
+type opStats struct {
+	inPos, inNeg       *obs.Counter
+	pos, neg           *obs.Counter
+	expired, procNanos *obs.Counter
+	state              *obs.Gauge
+	touched            *obs.Gauge
+	maxBatch, lastBatch *obs.Gauge
+}
+
+// opCounters registers the per-operator series for every plan node, labeled
+// with the operator class and its pre-order index so the exposition output
+// lines up with Profile() and plan.Explain's tree order. base labels (e.g.
 // a shard id) are merged into every series.
-func opCounters(reg *obs.Registry, root *plan.PNode, base obs.Labels) map[*plan.PNode]*emitStats {
-	out := make(map[*plan.PNode]*emitStats)
+func opCounters(reg *obs.Registry, root *plan.PNode, base obs.Labels) map[*plan.PNode]*opStats {
+	out := make(map[*plan.PNode]*opStats)
 	idx := 0
 	var walk func(n *plan.PNode)
 	walk = func(n *plan.PNode) {
 		if n == nil {
 			return
 		}
-		labels := obs.Labels{"op": n.Class.String(), "node": strconv.Itoa(idx)}
+		labels := obs.Labels{"op": n.Class.String(), "id": strconv.Itoa(idx)}
 		for k, v := range base {
 			labels[k] = v
 		}
 		idx++
-		out[n] = &emitStats{
-			pos: reg.Counter(MetricOpEmitted, "per-operator emitted tuples", labels),
-			neg: reg.Counter(MetricOpRetracted, "per-operator retracted tuples", labels),
+		st := &opStats{
+			inPos:     reg.Counter(MetricOpInPos, "per-operator positive input tuples", labels),
+			inNeg:     reg.Counter(MetricOpInNeg, "per-operator negative input tuples", labels),
+			pos:       reg.Counter(MetricOpEmitted, "per-operator emitted tuples", labels),
+			neg:       reg.Counter(MetricOpRetracted, "per-operator retracted tuples", labels),
+			expired:   reg.Counter(MetricOpExpired, "per-operator expiration-driven outputs", labels),
+			procNanos: reg.Counter(MetricOpProcNanos, "per-operator cumulative Process wall time", labels),
+			state:     reg.Gauge(MetricOpState, "per-operator stored tuples (sampled)", labels),
+			touched:   reg.Gauge(MetricOpTouched, "per-operator tuple visits (sampled)", labels),
+			maxBatch:  reg.Gauge(MetricOpBatchMax, "per-operator max Process call latency", labels),
+			lastBatch: reg.Gauge(MetricOpBatchLast, "per-operator last Process call latency", labels),
 		}
+		out[n] = st
+		n.Scratch = st // hot-path cache: feed/propagate skip the map lookup
 		for _, c := range n.Inputs {
 			walk(c)
 		}
 	}
 	walk(root)
 	return out
-}
-
-// emitStats tracks per-node output counts, backed by registry counters.
-type emitStats struct {
-	pos, neg *obs.Counter
 }

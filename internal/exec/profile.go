@@ -10,42 +10,67 @@ import (
 
 // OpProfile is one operator's runtime counters.
 type OpProfile struct {
+	// ID is the operator's pre-order index in the plan (root = 0), matching
+	// the "id" label of the upa_op_* series and plan.Explain's node ids.
+	ID int
 	// Class names the operator.
 	Class string
 	// Pattern is the output edge's update-pattern annotation.
 	Pattern string
 	// Depth is the operator's depth in the plan tree (root = 0).
 	Depth int
-	// StateTuples is the currently stored tuple count.
+	// StateTuples is the stored tuple count at the last sampling point
+	// (first arrival, every 64th arrival, every Sync).
 	StateTuples int
 	// Touched is the cumulative tuple-visit count of the operator's state
-	// structures.
+	// structures at the last sampling point.
 	Touched int64
+	// InPos and InNeg count the positive and negative tuples that arrived
+	// on the operator's inputs.
+	InPos, InNeg int64
 	// Emitted and Retracted count the positive and negative tuples the
 	// operator has produced on its output edge.
 	Emitted, Retracted int64
+	// Expired counts outputs produced by expiration work (Advance passes).
+	Expired int64
+	// ProcNanos is cumulative wall time inside Process; MaxBatchNanos and
+	// LastBatchNanos bound one Process call. All three are zero unless the
+	// engine was built with Config.Metrics set.
+	ProcNanos, MaxBatchNanos, LastBatchNanos int64
 }
 
 // Profile returns per-operator runtime counters in pre-order (root first) —
 // an EXPLAIN ANALYZE for continuous queries: which edges carry retractions,
-// where state lives, and which structures do the touching.
+// where state lives, and which structures do the touching. Every field is
+// read from the operator's registry instruments with atomic loads, so
+// Profile is safe to call from another goroutine (e.g. the /debug/plan
+// page) while the engine runs.
 func (e *Engine) Profile() []OpProfile {
 	var out []OpProfile
+	idx := 0
 	var walk func(n *plan.PNode, depth int)
 	walk = func(n *plan.PNode, depth int) {
 		if n == nil {
 			return
 		}
-		em := e.emitted[n]
+		st := e.ops[n]
 		out = append(out, OpProfile{
-			Class:       n.Class.String(),
-			Pattern:     n.Pattern.String(),
-			Depth:       depth,
-			StateTuples: n.Op.StateSize(),
-			Touched:     n.Op.Touched(),
-			Emitted:     em.pos.Value(),
-			Retracted:   em.neg.Value(),
+			ID:             idx,
+			Class:          n.Class.String(),
+			Pattern:        n.Pattern.String(),
+			Depth:          depth,
+			StateTuples:    int(st.state.Value()),
+			Touched:        st.touched.Value(),
+			InPos:          st.inPos.Value(),
+			InNeg:          st.inNeg.Value(),
+			Emitted:        st.pos.Value(),
+			Retracted:      st.neg.Value(),
+			Expired:        st.expired.Value(),
+			ProcNanos:      st.procNanos.Value(),
+			MaxBatchNanos:  st.maxBatch.Value(),
+			LastBatchNanos: st.lastBatch.Value(),
 		})
+		idx++
 		for _, c := range n.Inputs {
 			walk(c, depth+1)
 		}
@@ -56,7 +81,11 @@ func (e *Engine) Profile() []OpProfile {
 
 // WriteProfile renders Profile as an aligned tree.
 func (e *Engine) WriteProfile(w io.Writer) error {
-	profs := e.Profile()
+	return writeProfiles(w, e.Profile())
+}
+
+// writeProfiles renders a profile slice (shared by Engine and Sharded).
+func writeProfiles(w io.Writer, profs []OpProfile) error {
 	if len(profs) == 0 {
 		_, err := fmt.Fprintln(w, "(bare window plan: no operators)")
 		return err
@@ -74,4 +103,3 @@ func (e *Engine) WriteProfile(w io.Writer) error {
 	}
 	return nil
 }
-

@@ -75,8 +75,8 @@ func TestProfileBackedByRegistry(t *testing.T) {
 	eng.Push(0, 1, tuple.Int(7), tuple.String_("ftp"), tuple.Int(1))
 	eng.Push(1, 2, tuple.Int(7), tuple.String_("ftp"), tuple.Int(1))
 	snap := reg.Snapshot()
-	// Node 0 is the pre-order root (the join).
-	if got := snap.Counters[`upa_op_emitted_total{node="0",op="join"}`]; got != 1 {
+	// Id 0 is the pre-order root (the join).
+	if got := snap.Counters[`upa_op_emitted_total{id="0",op="join"}`]; got != 1 {
 		t.Fatalf("registry join counter = %d; counters: %v", got, snap.Counters)
 	}
 	// Profile must read the same counters.

@@ -5,12 +5,27 @@ import (
 	"io"
 	"strconv"
 	"sync"
+	"time"
 
 	"repro/internal/obs"
 	"repro/internal/operator"
 	"repro/internal/plan"
 	"repro/internal/relation"
 	"repro/internal/tuple"
+)
+
+// Shard ingest metric names, labeled {shard}. They expose the back-pressure
+// point: a full bounded queue blocks the producer in flushShard.
+const (
+	// MetricShardQueueDepth is the shard's current in-flight batch count
+	// (sampled after every enqueue and dequeue; capacity is shardQueue).
+	MetricShardQueueDepth = "upa_shard_queue_depth"
+	// MetricShardQueueBlocked is cumulative wall time the producer spent
+	// blocked on a full shard queue, recorded only when Config.Metrics is
+	// set.
+	MetricShardQueueBlocked = "upa_shard_queue_blocked_nanos_total"
+	// MetricShardBatches counts batches handed to the shard's worker.
+	MetricShardBatches = "upa_shard_batches_total"
 )
 
 // Sharded executes one continuous query as n independent key-partitioned
@@ -46,6 +61,13 @@ type Sharded struct {
 	pending [][]Arrival
 	wg      sync.WaitGroup
 	closed  sync.Once
+
+	// Per-shard ingest-queue instruments (registered only when workers run).
+	qdepth  []*obs.Gauge
+	blocked []*obs.Counter
+	batches []*obs.Counter
+	// timed gates the wall-clock blocked measurement, like Engine.timed.
+	timed bool
 }
 
 // shardBatch is how many arrivals are buffered per shard before handing the
@@ -116,9 +138,20 @@ func NewSharded(phys *plan.Physical, cfg Config, n int) (*Sharded, error) {
 	}
 
 	if n > 1 {
+		s.timed = cfg.Metrics != nil
 		s.chans = make([]chan shardOp, n)
 		s.pending = make([][]Arrival, n)
+		s.qdepth = make([]*obs.Gauge, n)
+		s.blocked = make([]*obs.Counter, n)
+		s.batches = make([]*obs.Counter, n)
 		for i := range s.chans {
+			labels := obs.Labels{"shard": strconv.Itoa(i)}
+			for k, v := range cfg.MetricLabels {
+				labels[k] = v
+			}
+			s.qdepth[i] = reg.Gauge(MetricShardQueueDepth, "in-flight ingest batches", labels)
+			s.blocked[i] = reg.Counter(MetricShardQueueBlocked, "producer wall time blocked on a full shard queue", labels)
+			s.batches[i] = reg.Counter(MetricShardBatches, "ingest batches handed to the shard worker", labels)
 			s.chans[i] = make(chan shardOp, shardQueue)
 			s.wg.Add(1)
 			go s.worker(i)
@@ -142,6 +175,7 @@ func (s *Sharded) worker(i int) {
 		case err == nil:
 			err = eng.PushBatch(op.batch)
 		}
+		s.qdepth[i].Set(int64(len(s.chans[i])))
 	}
 }
 
@@ -194,14 +228,28 @@ func (s *Sharded) enqueue(a Arrival) error {
 }
 
 // flushShard hands shard i's buffered arrivals to its worker (blocking when
-// the shard's queue is full — that is the back-pressure).
+// the shard's queue is full — that is the back-pressure, surfaced by the
+// blocked-nanos counter when the engine is timed).
 func (s *Sharded) flushShard(i int) {
 	if len(s.pending[i]) == 0 {
 		return
 	}
 	batch := s.pending[i]
 	s.pending[i] = nil
-	s.chans[i] <- shardOp{batch: batch}
+	op := shardOp{batch: batch}
+	select {
+	case s.chans[i] <- op:
+	default:
+		if s.timed {
+			start := time.Now()
+			s.chans[i] <- op
+			s.blocked[i].Add(time.Since(start).Nanoseconds())
+		} else {
+			s.chans[i] <- op
+		}
+	}
+	s.batches[i].Inc()
+	s.qdepth[i].Set(int64(len(s.chans[i])))
 }
 
 // barrier flushes all buffers and waits until every worker has drained its
@@ -254,6 +302,17 @@ func (s *Sharded) ApplyTableUpdate(tbl *relation.Table, u relation.Update) error
 	s.clock = u.TS
 	if err := s.barrier(); err != nil {
 		return err
+	}
+	// Advance every shard to the update's timestamp BEFORE mutating the
+	// table: pending window expirations must probe the pre-update rows
+	// (the sequential engine orders advance before apply the same way).
+	// Otherwise an NT retraction for a tuple expiring at or before u.TS
+	// would join against the post-delete table and never retract the
+	// deleted row's results.
+	for _, eng := range s.shards {
+		if err := eng.Advance(u.TS); err != nil {
+			return err
+		}
 	}
 	if err := tbl.Apply(u); err != nil {
 		return err
@@ -446,6 +505,49 @@ func (s *Sharded) Touched() (int64, error) {
 		n += eng.Touched()
 	}
 	return n, nil
+}
+
+// Watermark returns the oldest shard low-watermark: every expiration at or
+// below it is reflected in every shard's view. Reads are atomic-free but the
+// underlying pass timestamps only move inside worker PushBatch calls or
+// under a barrier, so mid-run values are approximate, like Stats.
+func (s *Sharded) Watermark() int64 {
+	w := s.shards[0].Watermark()
+	for _, eng := range s.shards[1:] {
+		if ew := eng.Watermark(); ew < w {
+			w = ew
+		}
+	}
+	return w
+}
+
+// Profile merges the per-shard operator profiles by plan position: counters
+// and state sum across shards, batch latencies take the max. Like Stats it
+// reads only atomic instruments, so it is safe while workers run.
+func (s *Sharded) Profile() []OpProfile {
+	out := s.shards[0].Profile()
+	for _, eng := range s.shards[1:] {
+		for i, p := range eng.Profile() {
+			if i >= len(out) {
+				break
+			}
+			out[i].StateTuples += p.StateTuples
+			out[i].Touched += p.Touched
+			out[i].InPos += p.InPos
+			out[i].InNeg += p.InNeg
+			out[i].Emitted += p.Emitted
+			out[i].Retracted += p.Retracted
+			out[i].Expired += p.Expired
+			out[i].ProcNanos += p.ProcNanos
+			if p.MaxBatchNanos > out[i].MaxBatchNanos {
+				out[i].MaxBatchNanos = p.MaxBatchNanos
+			}
+			if p.LastBatchNanos > out[i].LastBatchNanos {
+				out[i].LastBatchNanos = p.LastBatchNanos
+			}
+		}
+	}
+	return out
 }
 
 // WriteProfile drains the workers and writes each shard's operator profile.

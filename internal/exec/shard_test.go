@@ -48,7 +48,12 @@ func (d *shardDriver) table(tbl *relation.Table, u relation.Update) {
 	d.t.Helper()
 	// The table is shared between the sequential and sharded executors, so
 	// only the sharded one applies the mutation; the sequential engine just
-	// routes it (both see the same post-update rows).
+	// routes it (both see the same post-update rows). The sequential engine
+	// must run its pending expirations against the pre-update table first —
+	// RouteTableUpdate's contract — so advance it before the shared apply.
+	if err := d.seq.Advance(u.TS); err != nil {
+		d.t.Fatalf("sequential Advance(%d): %v", u.TS, err)
+	}
 	if err := d.sh.ApplyTableUpdate(tbl, u); err != nil {
 		d.t.Fatalf("sharded ApplyTableUpdate: %v", err)
 	}

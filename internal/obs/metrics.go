@@ -199,9 +199,37 @@ func (l Labels) render() string {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, "%s=%q", k, l[k])
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l[k]))
+		b.WriteByte('"')
 	}
 	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabelValue applies the Prometheus text-format label-value escaping:
+// exactly backslash, double quote, and newline are escaped (the exposition
+// format defines no other escape sequences, so Go-style \t or \xNN escapes
+// would make the output unparseable).
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 2)
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(v[i])
+		}
+	}
 	return b.String()
 }
 

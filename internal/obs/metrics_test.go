@@ -127,6 +127,32 @@ func TestWritePrometheus(t *testing.T) {
 	}
 }
 
+func TestLabelValueEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("upa_test_total", "", Labels{"pred": "proto=\"ftp\"\nand src\\dst"}).Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	// Exactly backslash, double quote, and newline must be escaped; the raw
+	// newline must not survive inside the quoted value.
+	want := `upa_test_total{pred="proto=\"ftp\"\nand src\\dst"} 1`
+	if !strings.Contains(b.String(), want) {
+		t.Fatalf("prometheus output missing %q:\n%s", want, b.String())
+	}
+	for _, fn := range []string{
+		`upa_test_total{pred="proto="ftp""`, // unescaped quote
+		"pred=\"proto=\\\"ftp\\\"\n",        // raw newline in value
+	} {
+		if strings.Contains(b.String(), fn) {
+			t.Fatalf("prometheus output contains unescaped form %q:\n%s", fn, b.String())
+		}
+	}
+	if got := escapeLabelValue("plain"); got != "plain" {
+		t.Fatalf("escapeLabelValue(plain) = %q", got)
+	}
+}
+
 func TestRegistryConcurrency(t *testing.T) {
 	r := NewRegistry()
 	var wg sync.WaitGroup

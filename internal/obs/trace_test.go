@@ -4,8 +4,10 @@ import (
 	"bufio"
 	"encoding/json"
 	"io"
+	"net"
 	"net/http"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -95,6 +97,54 @@ func TestRingSinkWraps(t *testing.T) {
 	if ring.Dropped() != 2 {
 		t.Fatalf("dropped = %d, want 2", ring.Dropped())
 	}
+}
+
+func TestRingSinkConcurrent(t *testing.T) {
+	ring := NewRingSink(16)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				ring.Emit(Event{Kind: EvEmit, TS: int64(id*1000 + j)})
+				if j%50 == 0 {
+					if evs := ring.Events(); len(evs) > 16 {
+						t.Errorf("ring returned %d events, cap 16", len(evs))
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	evs := ring.Events()
+	if len(evs) != 16 {
+		t.Fatalf("ring holds %d events, want 16", len(evs))
+	}
+	if ring.Dropped() != 4*500-16 {
+		t.Fatalf("dropped = %d, want %d", ring.Dropped(), 4*500-16)
+	}
+}
+
+func TestServerCloseIdempotentAndReleasesPort(t *testing.T) {
+	reg := NewRegistry()
+	srv, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	if err := srv.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	// The port must be free for a new listener once Close returns.
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("port %s not released after Close: %v", addr, err)
+	}
+	ln.Close()
 }
 
 func TestServeExposition(t *testing.T) {

@@ -117,6 +117,11 @@ type PNode struct {
 	Inputs  []*PNode // nil entries are source-fed edges
 	Parent  *PNode
 	Side    int // input side of Parent this node feeds
+	// Scratch is executor-owned: the engine bound to this plan caches its
+	// per-operator stats cell here so the per-tuple hot path avoids a map
+	// lookup. A Physical is bound to at most one executor (operators already
+	// carry engine-owned state), so there is no sharing to guard.
+	Scratch any
 }
 
 // PSource is one base-stream window leaf.

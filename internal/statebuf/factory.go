@@ -78,3 +78,19 @@ func New(cfg Config) Buffer {
 		panic(fmt.Sprintf("statebuf: unknown kind %v", cfg.Kind))
 	}
 }
+
+// Kinder is implemented by buffers that can report their implementation
+// kind; every buffer in this package does. Plan introspection (EXPLAIN)
+// uses it to show which structure an operator actually stores state in,
+// without re-deriving the planner's choice.
+type Kinder interface {
+	Kind() Kind
+}
+
+// KindOf names b's implementation kind, or "?" for a foreign buffer.
+func KindOf(b Buffer) string {
+	if k, ok := b.(Kinder); ok {
+		return k.Kind().String()
+	}
+	return "?"
+}

@@ -145,3 +145,6 @@ func (b *FIFOBuffer) compact() {
 		b.head = 0
 	}
 }
+
+// Kind identifies the buffer implementation (KindFIFO).
+func (b *FIFOBuffer) Kind() Kind { return KindFIFO }

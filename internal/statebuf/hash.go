@@ -154,3 +154,6 @@ func (b *HashBuffer) Len() int { return b.size }
 
 // Touched returns cumulative tuple visits.
 func (b *HashBuffer) Touched() int64 { return b.touched }
+
+// Kind identifies the buffer implementation (KindHash).
+func (b *HashBuffer) Kind() Kind { return KindHash }

@@ -115,3 +115,6 @@ func (b *IndexedFIFO) compact() {
 		b.head = 0
 	}
 }
+
+// Kind identifies the buffer implementation (KindIndexedFIFO).
+func (b *IndexedFIFO) Kind() Kind { return KindIndexedFIFO }

@@ -83,3 +83,6 @@ func (b *ListBuffer) Len() int { return b.items.Len() }
 
 // Touched returns cumulative tuple visits.
 func (b *ListBuffer) Touched() int64 { return b.touched }
+
+// Kind identifies the buffer implementation (KindList).
+func (b *ListBuffer) Kind() Kind { return KindList }

@@ -280,3 +280,6 @@ func (b *PartitionedBuffer) Len() int { return b.size }
 
 // Touched returns cumulative tuple visits.
 func (b *PartitionedBuffer) Touched() int64 { return b.touched }
+
+// Kind identifies the buffer implementation (KindPartitioned).
+func (b *PartitionedBuffer) Kind() Kind { return KindPartitioned }

@@ -30,6 +30,9 @@ type (
 	RingSink = obs.RingSink
 	// MetricsServer is a running HTTP exposition endpoint.
 	MetricsServer = obs.Server
+	// MetricsPage is one extra endpoint mounted on the exposition handler,
+	// e.g. Engine.PlanPage's /debug/plan.
+	MetricsPage = obs.Page
 )
 
 // Trace event kinds.
@@ -78,13 +81,39 @@ func WithTracer(t *Tracer) Option {
 }
 
 // MetricsHandler serves reg over HTTP: /metrics (Prometheus text format),
-// /metrics.json, /debug/vars (expvar), and /debug/pprof/.
-func MetricsHandler(reg *MetricsRegistry) http.Handler { return obs.Handler(reg) }
+// /metrics.json, /debug/vars (expvar), and /debug/pprof/. Extra pages (e.g.
+// Engine.PlanPage) are mounted alongside and listed on the index.
+func MetricsHandler(reg *MetricsRegistry, pages ...MetricsPage) http.Handler {
+	return obs.Handler(reg, pages...)
+}
 
 // ServeMetrics binds addr (e.g. ":9090") and serves MetricsHandler in the
 // background until the returned server is closed.
-func ServeMetrics(addr string, reg *MetricsRegistry) (*MetricsServer, error) {
-	return obs.Serve(addr, reg)
+func ServeMetrics(addr string, reg *MetricsRegistry, pages ...MetricsPage) (*MetricsServer, error) {
+	return obs.Serve(addr, reg, pages...)
+}
+
+// PlanPage returns a /debug/plan page for the exposition endpoint: the
+// engine's EXPLAIN tree as text (or a Graphviz digraph with ?format=dot),
+// annotated with live counters when ?analyze=1. The live mode reads only
+// atomically-updated instruments — it never syncs or blocks the engine — so
+// counters are a consistent-enough mid-run approximation, like /metrics.
+func (e *Engine) PlanPage() MetricsPage {
+	return MetricsPage{
+		Path:  "/debug/plan",
+		Title: "EXPLAIN of the running plan (?analyze=1, ?format=dot)",
+		Handler: func(w http.ResponseWriter, r *http.Request) {
+			analyze := r.URL.Query().Get("analyze") != ""
+			t := e.explainTree(analyze)
+			if r.URL.Query().Get("format") == "dot" {
+				w.Header().Set("Content-Type", "text/vnd.graphviz; charset=utf-8")
+				_ = t.WriteDOT(w)
+				return
+			}
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_ = t.WriteText(w)
+		},
+	}
 }
 
 // Metrics returns the registry backing the engine's counters (the one

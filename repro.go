@@ -53,7 +53,6 @@
 package repro
 
 import (
-	"fmt"
 	"io"
 
 	"repro/internal/bench"
@@ -420,14 +419,62 @@ func (e *Engine) Schema() *Schema { return e.phys.Schema }
 // annotation of Section 5.2.
 func (e *Engine) Pattern() Pattern { return e.phys.Pattern }
 
-// Explain writes the annotated plan (each operator labeled with its output
-// update pattern, as in the paper's Figure 6) and the chosen view structure.
+// Explain writes the annotated physical plan as a tree: each operator
+// labeled with its output update pattern (as in the paper's Figure 6), its
+// physical configuration (key columns, chosen state structures), the chosen
+// view structure, and the plan's partition-key status.
 func (e *Engine) Explain(w io.Writer) error {
-	if _, err := fmt.Fprintf(w, "strategy: %v\nresult view: %v\n", e.phys.Strategy, e.phys.View.Kind); err != nil {
+	return e.explainTree(false).WriteText(w)
+}
+
+// ExplainAnalyze syncs the engine and writes the Explain tree with each
+// operator's live counters — tuples in/out by polarity, expiration work,
+// state size, wall time — summed over shards on a sharded engine.
+func (e *Engine) ExplainAnalyze(w io.Writer) error {
+	if err := e.Sync(); err != nil {
 		return err
 	}
-	_, err := fmt.Fprint(w, e.root.String())
-	return err
+	return e.explainTree(true).WriteText(w)
+}
+
+// ExplainDOT writes the Explain tree as a Graphviz digraph; with analyze
+// set, node labels carry the live counters (the engine is synced first).
+func (e *Engine) ExplainDOT(w io.Writer, analyze bool) error {
+	if analyze {
+		if err := e.Sync(); err != nil {
+			return err
+		}
+	}
+	return e.explainTree(analyze).WriteDOT(w)
+}
+
+func (e *Engine) explainTree(analyze bool) *plan.ExplainTree {
+	if e.sh != nil {
+		return e.sh.Explain(analyze)
+	}
+	return e.seq.Explain(analyze)
+}
+
+// OpStats returns per-operator runtime counters in plan pre-order (root
+// first), summed across shards on a sharded engine. Reads are atomic, so it
+// is safe while the engine runs; gauge-backed fields (state, touched) are as
+// of the last sampling point.
+func (e *Engine) OpStats() []exec.OpProfile {
+	if e.sh != nil {
+		return e.sh.Profile()
+	}
+	return e.seq.Profile()
+}
+
+// Watermark returns the staleness low-watermark: every expiration at or
+// below this timestamp is reflected in the result view. It trails Clock by
+// at most the larger maintenance interval and reaches Clock after a Sync;
+// sharded engines report the oldest shard watermark.
+func (e *Engine) Watermark() int64 {
+	if e.sh != nil {
+		return e.sh.Watermark()
+	}
+	return e.seq.Watermark()
 }
 
 // Lookup syncs and returns the current result rows whose key columns (the
