@@ -12,6 +12,7 @@
 //	upaquery -query q3 -strategy upa -analyze
 //	upaquery -cql "SELECT DISTINCT src FROM S0 [RANGE 2000]" -links 1
 //	upaquery -query q3 -strategy nt -metrics-addr :9090 -trace-out events.jsonl
+//	upaquery -query q1-ftp -checkpoint-dir ./state -checkpoint-every 100000
 //	upaquery -list
 //
 // -explain prints the annotated physical plan (per-operator update-pattern
@@ -23,6 +24,15 @@
 // /debug/plan?analyze=1) while it is in progress; with -trace-out every
 // typed engine event (arrivals, emissions, retractions, window expirations,
 // maintenance passes) is written as JSON Lines.
+//
+// With -checkpoint-dir the run writes a versioned binary checkpoint
+// (atomically, via temp file + rename) every -checkpoint-every tuples and
+// once at the end; when the directory already holds a checkpoint, the run
+// restores it and resumes the trace where the previous process stopped (the
+// synthetic trace is deterministic, so skipping the restored arrival count
+// replays the exact remainder). -max-tuples bounds the run so a later
+// invocation can finish it, and -dump-view writes the sorted final answer
+// for diffing two runs.
 package main
 
 import (
@@ -30,6 +40,7 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"time"
@@ -40,6 +51,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/trace"
+	"repro/internal/tuple"
 )
 
 var queryNames = map[string]bench.Query{
@@ -69,6 +81,10 @@ func main() {
 	progressEvery := flag.Duration("progress", time.Second, "progress-line interval (0 disables)")
 	explain := flag.Bool("explain", false, "print the annotated physical plan (EXPLAIN) and exit")
 	analyze := flag.Bool("analyze", false, "after the run, print the plan with live per-operator counters (EXPLAIN ANALYZE)")
+	checkpointDir := flag.String("checkpoint-dir", "", "checkpoint into this directory and resume from an existing checkpoint on start")
+	checkpointEvery := flag.Int("checkpoint-every", 0, "also checkpoint every N processed tuples (0: only a final checkpoint)")
+	maxTuples := flag.Int("max-tuples", 0, "stop after this many trace records (0: the whole trace)")
+	dumpView := flag.String("dump-view", "", "after the run, write the sorted result view to this file")
 	list := flag.Bool("list", false, "list query names and exit")
 	flag.Parse()
 
@@ -85,7 +101,8 @@ func main() {
 		return
 	}
 	if err := run(*query, *cqlText, *links, *strategy, *windowSize, *duration, *traceFile,
-		*partitions, *shards, *metricsAddr, *traceOut, *progressEvery, *explain, *analyze); err != nil {
+		*partitions, *shards, *metricsAddr, *traceOut, *progressEvery, *explain, *analyze,
+		*checkpointDir, *checkpointEvery, *maxTuples, *dumpView); err != nil {
 		fmt.Fprintln(os.Stderr, "upaquery:", err)
 		os.Exit(1)
 	}
@@ -93,7 +110,7 @@ func main() {
 
 func run(queryName, cqlText string, cqlLinks int, strategyName string, windowSize, duration int64,
 	traceFile string, partitions, shards int, metricsAddr, traceOut string, progressEvery time.Duration,
-	explain, analyze bool) error {
+	explain, analyze bool, checkpointDir string, checkpointEvery, maxTuples int, dumpView string) error {
 	var q bench.Query
 	var root *plan.Node
 	nLinks := 0
@@ -222,6 +239,60 @@ func run(queryName, cqlText string, cqlLinks int, strategyName string, windowSiz
 		fmt.Fprintf(os.Stderr, "serving metrics on http://%s/metrics (plan at /debug/plan, pprof at /debug/pprof/)\n", srv.Addr())
 	}
 
+	engStats := func() exec.Stats {
+		if sh != nil {
+			return sh.Stats()
+		}
+		return seq.Stats()
+	}
+	ckptFile := ""
+	if checkpointDir != "" {
+		if err := os.MkdirAll(checkpointDir, 0o755); err != nil {
+			return err
+		}
+		ckptFile = filepath.Join(checkpointDir, "checkpoint.ckpt")
+	}
+	// writeCheckpoint snapshots atomically: a crash mid-write leaves the
+	// previous checkpoint intact, never a truncated one.
+	writeCheckpoint := func() error {
+		tmp := ckptFile + ".tmp"
+		f, err := os.Create(tmp)
+		if err != nil {
+			return err
+		}
+		if sh != nil {
+			err = sh.Checkpoint(f)
+		} else {
+			err = seq.Checkpoint(f)
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			os.Remove(tmp)
+			return err
+		}
+		return os.Rename(tmp, ckptFile)
+	}
+	skip := 0
+	if ckptFile != "" {
+		if f, err := os.Open(ckptFile); err == nil {
+			if sh != nil {
+				err = sh.Restore(f)
+			} else {
+				err = seq.Restore(f)
+			}
+			f.Close()
+			if err != nil {
+				return fmt.Errorf("resume from %s: %w", ckptFile, err)
+			}
+			skip = int(engStats().Arrivals)
+			fmt.Fprintf(os.Stderr, "resumed from %s at %d arrivals\n", ckptFile, skip)
+		} else if !os.IsNotExist(err) {
+			return err
+		}
+	}
+
 	var recs []trace.Record
 	if traceFile != "" {
 		f, err := os.Open(traceFile)
@@ -242,10 +313,29 @@ func run(queryName, cqlText string, cqlLinks int, strategyName string, windowSiz
 		})
 	}
 
+	if maxTuples > 0 && len(recs) > maxTuples {
+		recs = recs[:maxTuples]
+	}
+	if skip > 0 {
+		if skip > len(recs) {
+			skip = len(recs)
+		}
+		recs = recs[skip:]
+	}
+	// periodicCheckpoint fires when the cumulative arrival count (including
+	// restored arrivals) crosses a -checkpoint-every boundary.
+	periodicCheckpoint := func(prev, now int) error {
+		if ckptFile == "" || checkpointEvery <= 0 || prev/checkpointEvery == now/checkpointEvery {
+			return nil
+		}
+		return writeCheckpoint()
+	}
+
 	start := time.Now()
 	prog := newProgress(start, progressEvery)
 	if sh != nil {
 		batch := make([]exec.Arrival, 0, 256)
+		flushed := skip
 		for i, r := range recs {
 			if r.Link >= nLinks {
 				return fmt.Errorf("trace record on link %d, but query reads %d links", r.Link, nLinks)
@@ -257,6 +347,10 @@ func run(queryName, cqlText string, cqlLinks int, strategyName string, windowSiz
 				}
 				batch = batch[:0]
 				prog.maybe(i+1, sh)
+				if err := periodicCheckpoint(flushed, skip+i+1); err != nil {
+					return err
+				}
+				flushed = skip + i + 1
 			}
 		}
 		if err := sh.PushBatch(batch); err != nil {
@@ -274,9 +368,20 @@ func run(queryName, cqlText string, cqlLinks int, strategyName string, windowSiz
 				return err
 			}
 			prog.maybe(i+1, seq)
+			if err := periodicCheckpoint(skip+i, skip+i+1); err != nil {
+				return err
+			}
 		}
 		if err := seq.Sync(); err != nil {
 			return err
+		}
+	}
+	if ckptFile != "" {
+		if err := writeCheckpoint(); err != nil {
+			return err
+		}
+		if fi, err := os.Stat(ckptFile); err == nil {
+			fmt.Fprintf(os.Stderr, "checkpoint written to %s (%d bytes)\n", ckptFile, fi.Size())
 		}
 	}
 	elapsed := time.Since(start)
@@ -321,6 +426,29 @@ func run(queryName, cqlText string, cqlLinks int, strategyName string, windowSiz
 		if err := explainTree(true).WriteText(os.Stdout); err != nil {
 			return err
 		}
+	}
+	if dumpView != "" {
+		var rows []tuple.Tuple
+		if sh != nil {
+			if rows, err = sh.Snapshot(); err != nil {
+				return err
+			}
+		} else {
+			rows = seq.View().Snapshot()
+		}
+		lines := make([]string, 0, len(rows))
+		for _, t := range rows {
+			lines = append(lines, t.String())
+		}
+		sort.Strings(lines)
+		out := strings.Join(lines, "\n")
+		if out != "" {
+			out += "\n"
+		}
+		if err := os.WriteFile(dumpView, []byte(out), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d result rows to %s\n", len(lines), dumpView)
 	}
 	return nil
 }

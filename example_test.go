@@ -1,6 +1,7 @@
 package repro_test
 
 import (
+	"bytes"
 	"fmt"
 
 	"repro"
@@ -58,6 +59,52 @@ func ExampleParseQuery() {
 	fmt.Println("distinct sources:", n)
 	// Output:
 	// distinct sources: 2
+}
+
+// ExampleEngine_Checkpoint snapshots a running query mid-stream and resumes
+// it in a second engine with repro.Open: the restored engine carries the full
+// window and view state, so the answer evolves exactly as if the run had
+// never stopped.
+func ExampleEngine_Checkpoint() {
+	schema := repro.MustSchema(
+		repro.Column{Name: "src", Kind: repro.KindInt},
+		repro.Column{Name: "proto", Kind: repro.KindString},
+	)
+	query := func() repro.Node {
+		return repro.Stream(0, schema, repro.TimeWindow(100)).Select("src").Distinct()
+	}
+	eng, err := repro.Compile(query(), repro.UPA)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	eng.Push(0, 1, repro.Int(5), repro.Str("ftp"))
+	eng.Push(0, 2, repro.Int(9), repro.Str("http"))
+
+	var snap bytes.Buffer
+	if err := eng.Checkpoint(&snap); err != nil {
+		fmt.Println(err)
+		return
+	}
+	eng.Close()
+
+	// Later — possibly in another process — reopen from the checkpoint. The
+	// query, strategy, and options must match, or Open fails with a typed
+	// *repro.MismatchError before touching any state.
+	resumed, err := repro.Open(&snap, query(), repro.UPA)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	resumed.Push(0, 3, repro.Int(5), repro.Str("ftp")) // still a duplicate
+	n, _ := resumed.ResultCount()
+	fmt.Println("distinct sources after resume:", n)
+	resumed.Advance(102) // the pre-checkpoint arrivals expire on schedule
+	n, _ = resumed.ResultCount()
+	fmt.Println("after the old window slides out:", n)
+	// Output:
+	// distinct sources after resume: 2
+	// after the old window slides out: 1
 }
 
 // ExampleEngine_Pattern shows the update-pattern annotation driving the

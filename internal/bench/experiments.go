@@ -1,10 +1,13 @@
 package bench
 
 import (
+	"bytes"
 	"fmt"
+	"time"
 
 	"repro/internal/exec"
 	"repro/internal/plan"
+	"repro/internal/trace"
 )
 
 // Scale selects experiment sizing: Quick keeps every sweep point small
@@ -213,7 +216,128 @@ func Experiments() []Experiment {
 		{"e7", "E7: lazy-interval sweep (Section 6.1)", runLazySweep},
 		{"e8", "E8: cost model vs measurement", runCostRanking},
 		{"e9", "E9: shard-count sweep (key-partitioned execution)", runShardSweep},
+		{"e10", "E10: recovery — checkpoint size/latency vs trace replay", runRecovery},
 	}
+}
+
+// runRecovery measures the checkpoint subsystem's recovery trade-off per
+// strategy: process half the trace, checkpoint to memory (size and write
+// latency), then recover two ways — restore the checkpoint into a fresh
+// engine vs replay the trace prefix from scratch — and verify all recovered
+// engines finish the trace in agreement with the uninterrupted run.
+func runRecovery(s Scale) ([]Table, error) {
+	w := int64(20000)
+	if s == Quick {
+		w = 5000
+	}
+	q := Q1FTP
+	tab := Table{
+		ID:      "e10",
+		Title:   fmt.Sprintf("Recovery, Query 1 (ftp), window %d — checkpoint/restore vs replay", w),
+		Columns: []string{"variant", "ckpt bytes", "ckpt ms", "restore ms", "replay ms", "replay/restore"},
+		Notes: "Half the trace is processed and checkpointed to memory; recovery restores it into a " +
+			"fresh engine vs replaying the prefix. Every recovered engine then finishes the trace and " +
+			"must match the uninterrupted run's answer (verified, not shown). Restore cost scales with " +
+			"live state, replay with the prefix length, so the ratio grows with trace length.",
+	}
+	newEngine := func(v Variant) (*exec.Engine, error) {
+		root := BuildPlan(q, w)
+		if err := plan.Annotate(root, PlanStats(q, 1000)); err != nil {
+			return nil, err
+		}
+		phys, err := plan.Build(root, v.Strat, v.Opts)
+		if err != nil {
+			return nil, err
+		}
+		lazy := w * 5 / 100
+		if lazy < 1 {
+			lazy = 1
+		}
+		return exec.New(phys, exec.Config{EagerInterval: 1, LazyInterval: lazy})
+	}
+	links := q.Links()
+	gen := trace.NewGenerator(trace.Config{
+		Links: links, Tuples: int(2*w) * links, Seed: 42,
+		SrcHosts: 1000, SrcSkew: q.SrcSkew(), DisjointSources: q.DisjointSources(),
+	})
+	var recs []trace.Record
+	for {
+		rec, ok := gen.Next()
+		if !ok {
+			break
+		}
+		recs = append(recs, rec)
+	}
+	half := len(recs) / 2
+	feed := func(e *exec.Engine, rs []trace.Record) error {
+		for _, r := range rs {
+			if err := e.Push(r.Link, r.TS, r.Vals...); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, v := range StdVariants() {
+		a, err := newEngine(v)
+		if err != nil {
+			return nil, fmt.Errorf("e10 %s: %w", v.Name, err)
+		}
+		if err := feed(a, recs[:half]); err != nil {
+			return nil, fmt.Errorf("e10 %s: %w", v.Name, err)
+		}
+		var ckpt bytes.Buffer
+		t0 := time.Now()
+		if err := a.Checkpoint(&ckpt); err != nil {
+			return nil, fmt.Errorf("e10 %s: checkpoint: %w", v.Name, err)
+		}
+		ckptMs := float64(time.Since(t0).Nanoseconds()) / 1e6
+
+		restored, err := newEngine(v)
+		if err != nil {
+			return nil, fmt.Errorf("e10 %s: %w", v.Name, err)
+		}
+		t0 = time.Now()
+		if err := restored.Restore(bytes.NewReader(ckpt.Bytes())); err != nil {
+			return nil, fmt.Errorf("e10 %s: restore: %w", v.Name, err)
+		}
+		restoreMs := float64(time.Since(t0).Nanoseconds()) / 1e6
+
+		replayed, err := newEngine(v)
+		if err != nil {
+			return nil, fmt.Errorf("e10 %s: %w", v.Name, err)
+		}
+		t0 = time.Now()
+		if err := feed(replayed, recs[:half]); err != nil {
+			return nil, fmt.Errorf("e10 %s: replay: %w", v.Name, err)
+		}
+		replayMs := float64(time.Since(t0).Nanoseconds()) / 1e6
+
+		// All three engines finish the trace; the recovered ones must agree
+		// with the uninterrupted run on the answer and the output totals.
+		for _, e := range []*exec.Engine{a, restored, replayed} {
+			if err := feed(e, recs[half:]); err != nil {
+				return nil, fmt.Errorf("e10 %s: finish: %w", v.Name, err)
+			}
+			if err := e.Sync(); err != nil {
+				return nil, fmt.Errorf("e10 %s: sync: %w", v.Name, err)
+			}
+		}
+		for _, e := range []*exec.Engine{restored, replayed} {
+			if e.View().Len() != a.View().Len() || e.Stats().Emitted != a.Stats().Emitted {
+				return nil, fmt.Errorf("e10 %s: recovered run diverges: view %d/%d, emitted %d/%d",
+					v.Name, e.View().Len(), a.View().Len(), e.Stats().Emitted, a.Stats().Emitted)
+			}
+		}
+		ratio := 0.0
+		if restoreMs > 0 {
+			ratio = replayMs / restoreMs
+		}
+		tab.Rows = append(tab.Rows, []string{
+			v.Name, fmt.Sprint(ckpt.Len()), fmt.Sprintf("%.3f", ckptMs),
+			fmt.Sprintf("%.3f", restoreMs), fmt.Sprintf("%.3f", replayMs), fmt.Sprintf("%.1fx", ratio),
+		})
+	}
+	return []Table{tab}, nil
 }
 
 // shardSweepCounts are the shard counts experiment e9 sweeps;

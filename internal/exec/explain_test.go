@@ -117,7 +117,7 @@ func TestExplainAnalyzePaperQueries(t *testing.T) {
 				if err != nil {
 					t.Fatalf("NewSharded: %v", err)
 				}
-				t.Cleanup(sh.Close)
+				t.Cleanup(func() { sh.Close() })
 
 				streams := 1
 				for _, src := range seqPhys.Sources {

@@ -49,6 +49,18 @@ const (
 	// wall-clock cost of each Sync (forcing all pending expirations into the
 	// view). Recorded only when Config.Metrics is set.
 	MetricRefreshNanos = "upa_refresh_nanos"
+	// MetricCheckpoints counts completed Checkpoint calls.
+	MetricCheckpoints = "upa_checkpoint_total"
+	// MetricRestores counts completed Restore calls.
+	MetricRestores = "upa_checkpoint_restore_total"
+	// MetricCheckpointBytes is the size of the most recent checkpoint.
+	MetricCheckpointBytes = "upa_checkpoint_bytes"
+	// MetricCheckpointNanos is the checkpoint-write latency histogram,
+	// recorded only when Config.Metrics is set.
+	MetricCheckpointNanos = "upa_checkpoint_nanos"
+	// MetricRestoreNanos is the restore latency histogram, recorded only when
+	// Config.Metrics is set.
+	MetricRestoreNanos = "upa_checkpoint_restore_nanos"
 )
 
 // Per-operator metric names. Every series is labeled {op, id} (plus any
@@ -85,9 +97,12 @@ const (
 type engineMetrics struct {
 	arrivals, emitted, retracted, windowNegatives      *obs.Counter
 	eagerPasses, lazyPasses, tableUpdates, viewExpired *obs.Counter
+	checkpoints, restores                              *obs.Counter
 	clock, watermark                                   *obs.Gauge
 	stateTuples, maxStateTuples, viewRows              *obs.Gauge
+	checkpointBytes                                    *obs.Gauge
 	pushNanos, refreshNanos                            *obs.Histogram
+	checkpointNanos, restoreNanos                      *obs.Histogram
 }
 
 func newEngineMetrics(reg *obs.Registry, base obs.Labels) engineMetrics {
@@ -105,8 +120,13 @@ func newEngineMetrics(reg *obs.Registry, base obs.Labels) engineMetrics {
 		stateTuples:     reg.Gauge(MetricStateTuples, "stored tuples (sampled)", base),
 		maxStateTuples:  reg.Gauge(MetricStateTuplesPeak, "peak stored tuples", base),
 		viewRows:        reg.Gauge(MetricViewRows, "result view cardinality (sampled)", base),
+		checkpoints:     reg.Counter(MetricCheckpoints, "completed checkpoints", base),
+		restores:        reg.Counter(MetricRestores, "completed restores", base),
+		checkpointBytes: reg.Gauge(MetricCheckpointBytes, "size of the most recent checkpoint", base),
 		pushNanos:       reg.Histogram(MetricPushNanos, "Push wall-clock latency in nanoseconds", obs.DefaultLatencyBuckets(), base),
 		refreshNanos:    reg.Histogram(MetricRefreshNanos, "Sync (result refresh) wall-clock latency in nanoseconds", obs.DefaultLatencyBuckets(), base),
+		checkpointNanos: reg.Histogram(MetricCheckpointNanos, "checkpoint-write wall-clock latency in nanoseconds", obs.DefaultLatencyBuckets(), base),
+		restoreNanos:    reg.Histogram(MetricRestoreNanos, "restore wall-clock latency in nanoseconds", obs.DefaultLatencyBuckets(), base),
 	}
 }
 

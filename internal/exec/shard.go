@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
@@ -27,6 +28,10 @@ const (
 	// MetricShardBatches counts batches handed to the shard's worker.
 	MetricShardBatches = "upa_shard_batches_total"
 )
+
+// ErrClosed is returned by ingest, maintenance, and checkpoint entry points
+// called after Close.
+var ErrClosed = errors.New("exec: executor is closed")
 
 // Sharded executes one continuous query as n independent key-partitioned
 // Engine copies, one per worker goroutine. plan.PartitionKey proves that the
@@ -61,6 +66,10 @@ type Sharded struct {
 	pending [][]Arrival
 	wg      sync.WaitGroup
 	closed  sync.Once
+	// done is set by Close; subsequent mutating calls return ErrClosed
+	// instead of writing to closed worker channels. Producer-side only, like
+	// the rest of the ingest API.
+	done bool
 
 	// Per-shard ingest-queue instruments (registered only when workers run).
 	qdepth  []*obs.Gauge
@@ -191,6 +200,9 @@ func (s *Sharded) sequential() bool { return s.chans == nil }
 
 // Push admits one base-stream tuple; the vals slice is retained.
 func (s *Sharded) Push(streamID int, ts int64, vals ...tuple.Value) error {
+	if s.done {
+		return ErrClosed
+	}
 	if s.sequential() {
 		return s.shards[0].Push(streamID, ts, vals...)
 	}
@@ -199,6 +211,9 @@ func (s *Sharded) Push(streamID int, ts int64, vals ...tuple.Value) error {
 
 // PushBatch admits a run of arrivals; the Vals slices are retained.
 func (s *Sharded) PushBatch(batch []Arrival) error {
+	if s.done {
+		return ErrClosed
+	}
 	if s.sequential() {
 		return s.shards[0].PushBatch(batch)
 	}
@@ -277,6 +292,9 @@ func (s *Sharded) barrier() error {
 // Advance moves logical time forward with no arrival. Shards observe the new
 // clock at the next barrier (Sync/Snapshot), which is when results are read.
 func (s *Sharded) Advance(ts int64) error {
+	if s.done {
+		return ErrClosed
+	}
 	if s.sequential() {
 		return s.shards[0].Advance(ts)
 	}
@@ -293,6 +311,9 @@ func (s *Sharded) Advance(ts int64) error {
 // shared table is mutated once, then the consequences are routed through
 // every shard's plan.
 func (s *Sharded) ApplyTableUpdate(tbl *relation.Table, u relation.Update) error {
+	if s.done {
+		return ErrClosed
+	}
 	if s.sequential() {
 		return s.shards[0].ApplyTableUpdate(tbl, u)
 	}
@@ -328,6 +349,9 @@ func (s *Sharded) ApplyTableUpdate(tbl *relation.Table, u relation.Update) error
 // Sync drains all workers and forces every shard's pending maintenance up to
 // the coordinator clock.
 func (s *Sharded) Sync() error {
+	if s.done {
+		return ErrClosed
+	}
 	if s.sequential() {
 		return s.shards[0].Sync()
 	}
@@ -569,10 +593,12 @@ func (s *Sharded) WriteProfile(w io.Writer) error {
 	return nil
 }
 
-// Close stops the workers after draining buffered arrivals. Idempotent; the
-// executor must not be used afterwards.
-func (s *Sharded) Close() {
+// Close stops the workers after draining buffered arrivals. Idempotent: the
+// first call drains and stops, later calls return nil immediately. After
+// Close, ingest, maintenance, and checkpoint calls return ErrClosed.
+func (s *Sharded) Close() error {
 	s.closed.Do(func() {
+		s.done = true
 		if s.chans == nil {
 			return
 		}
@@ -582,4 +608,5 @@ func (s *Sharded) Close() {
 		}
 		s.wg.Wait()
 	})
+	return nil
 }

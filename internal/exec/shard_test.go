@@ -134,7 +134,7 @@ func runShardConformance(t *testing.T, build func() (*plan.Node, []*relation.Tab
 			if err != nil {
 				t.Fatalf("NewSharded: %v", err)
 			}
-			t.Cleanup(sh.Close)
+			t.Cleanup(func() { sh.Close() })
 			if reason := sh.FallbackReason(); reason != "" {
 				t.Fatalf("plan unexpectedly fell back to sequential: %s", reason)
 			}
@@ -359,7 +359,7 @@ func TestShardedPropertyRandomTraces(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				t.Cleanup(sh.Close)
+				t.Cleanup(func() { sh.Close() })
 				if sh.FallbackReason() != "" {
 					t.Fatalf("unexpected fallback: %s", sh.FallbackReason())
 				}
@@ -397,7 +397,7 @@ func TestShardedBatchedIngest(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(sh.Close)
+	t.Cleanup(func() { sh.Close() })
 	ref := reference.New(root)
 	r := rand.New(rand.NewSource(71))
 	var batch []Arrival
@@ -484,7 +484,7 @@ func TestShardedFallback(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			t.Cleanup(sh.Close)
+			t.Cleanup(func() { sh.Close() })
 			if sh.Shards() != 1 {
 				t.Fatalf("Shards() = %d, want 1 (fallback)", sh.Shards())
 			}
@@ -540,7 +540,7 @@ func TestShardedMetricLabels(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(sh.Close)
+	t.Cleanup(func() { sh.Close() })
 	r := rand.New(rand.NewSource(91))
 	for ts := int64(0); ts < 80; ts++ {
 		if err := sh.Push(int(ts%2), ts, rndTuple(r)...); err != nil {

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/checkpoint"
 	"repro/internal/plan"
 	"repro/internal/statebuf"
 	"repro/internal/tuple"
@@ -113,6 +114,24 @@ func (v *bufferView) LookupKey(k tuple.Key) ([]tuple.Tuple, bool) {
 	return out, true
 }
 
+// SaveState implements checkpoint.Snapshotter by delegating to the buffer.
+func (v *bufferView) SaveState(enc *checkpoint.Encoder) error {
+	s, ok := v.buf.(checkpoint.Snapshotter)
+	if !ok {
+		return fmt.Errorf("exec: view buffer %T cannot snapshot", v.buf)
+	}
+	return s.SaveState(enc)
+}
+
+// LoadState implements checkpoint.Snapshotter.
+func (v *bufferView) LoadState(dec *checkpoint.Decoder) error {
+	s, ok := v.buf.(checkpoint.Snapshotter)
+	if !ok {
+		return fmt.Errorf("exec: view buffer %T cannot snapshot", v.buf)
+	}
+	return s.LoadState(dec)
+}
+
 // keyedView replaces rows by key — group-by results, where a new aggregate
 // value for a group supersedes the previous one without a retraction
 // (Section 2.1), and a negative tuple removes the group's row.
@@ -157,6 +176,30 @@ func (v *keyedView) LookupKey(k tuple.Key) ([]tuple.Tuple, bool) {
 	return nil, true
 }
 
+// SaveState implements checkpoint.Snapshotter: the cost counter and the
+// group rows with their keys.
+func (v *keyedView) SaveState(enc *checkpoint.Encoder) error {
+	enc.Varint(v.touched)
+	enc.Uvarint(uint64(len(v.rows)))
+	for k, t := range v.rows {
+		enc.Key(k)
+		enc.Tuple(t)
+	}
+	return enc.Err()
+}
+
+// LoadState implements checkpoint.Snapshotter.
+func (v *keyedView) LoadState(dec *checkpoint.Decoder) error {
+	v.touched = dec.Varint()
+	v.rows = make(map[tuple.Key]tuple.Tuple)
+	n := dec.Count()
+	for i := 0; i < n && dec.Err() == nil; i++ {
+		k := dec.Key()
+		v.rows[k] = dec.Tuple()
+	}
+	return dec.Err()
+}
+
 // appendView is the append-only result of a monotonic query; it retains a
 // bounded tail plus a count, since unbounded retention is the point of
 // monotonic outputs being streams, not views.
@@ -186,3 +229,18 @@ func (v *appendView) Len() int { return int(v.total) }
 func (v *appendView) Snapshot() []tuple.Tuple { return append([]tuple.Tuple(nil), v.tail...) }
 
 func (v *appendView) Touched() int64 { return v.total }
+
+// SaveState implements checkpoint.Snapshotter: the total and the retained
+// tail.
+func (v *appendView) SaveState(enc *checkpoint.Encoder) error {
+	enc.Varint(v.total)
+	enc.Tuples(v.tail)
+	return enc.Err()
+}
+
+// LoadState implements checkpoint.Snapshotter.
+func (v *appendView) LoadState(dec *checkpoint.Decoder) error {
+	v.total = dec.Varint()
+	v.tail = dec.Tuples()
+	return dec.Err()
+}

@@ -18,6 +18,7 @@ package relation
 import (
 	"fmt"
 
+	"repro/internal/checkpoint"
 	"repro/internal/tuple"
 )
 
@@ -214,6 +215,61 @@ func (t *Table) Probe(cols []int, k tuple.Key, fn func(vals []tuple.Value) bool)
 		}
 		return true
 	})
+}
+
+// SaveState implements checkpoint.Snapshotter: the current rows with their
+// insertion timestamps. Secondary indexes are derived state and are rebuilt
+// on load rather than serialized. Per-key bucket order (which decides the
+// deletion victim among duplicate rows) is preserved.
+func (t *Table) SaveState(enc *checkpoint.Encoder) error {
+	enc.Uvarint(uint64(t.size))
+	for _, bucket := range t.rows {
+		for _, r := range bucket {
+			enc.Varint(r.ts)
+			enc.Uvarint(uint64(len(r.vals)))
+			for _, v := range r.vals {
+				enc.Value(v)
+			}
+		}
+	}
+	return enc.Err()
+}
+
+// LoadState implements checkpoint.Snapshotter. Rows are re-keyed and every
+// secondary index already requested via EnsureIndex is rebuilt. Listeners
+// are NOT notified: a restore reproduces state, it is not a stream of
+// updates.
+func (t *Table) LoadState(dec *checkpoint.Decoder) error {
+	n := dec.Count()
+	t.rows = make(map[tuple.Key][]row)
+	t.size = 0
+	for _, idx := range t.byKey {
+		idx.buckets = make(map[tuple.Key][]row)
+	}
+	for i := 0; i < n && dec.Err() == nil; i++ {
+		ts := dec.Varint()
+		nv := dec.Count()
+		var vals []tuple.Value
+		for j := 0; j < nv && dec.Err() == nil; j++ {
+			vals = append(vals, dec.Value())
+		}
+		if dec.Err() != nil {
+			break
+		}
+		if len(vals) != t.schema.Len() {
+			return fmt.Errorf("%w: table %s row arity %d != schema %d",
+				checkpoint.ErrCorrupt, t.name, len(vals), t.schema.Len())
+		}
+		r := row{ts: ts, vals: vals}
+		k := t.fullKey(vals)
+		t.rows[k] = append(t.rows[k], r)
+		for _, idx := range t.byKey {
+			ik := tuple.Tuple{Vals: vals}.Key(idx.cols)
+			idx.buckets[ik] = append(idx.buckets[ik], r)
+		}
+		t.size++
+	}
+	return dec.Err()
 }
 
 // Scan visits every current row.

@@ -1,6 +1,9 @@
 package statebuf
 
-import "repro/internal/tuple"
+import (
+	"repro/internal/checkpoint"
+	"repro/internal/tuple"
+)
 
 // FIFOBuffer stores state whose expiration order equals its insertion order —
 // the weakest non-monotonic (WKS) case of Section 3.1. It is a slice-backed
@@ -148,3 +151,24 @@ func (b *FIFOBuffer) compact() {
 
 // Kind identifies the buffer implementation (KindFIFO).
 func (b *FIFOBuffer) Kind() Kind { return KindFIFO }
+
+// SaveState implements checkpoint.Snapshotter: cost counter, the FIFO
+// invariant flags, then the live tuples in insertion order. The consumed
+// head prefix is dropped — it is dead state.
+func (b *FIFOBuffer) SaveState(enc *checkpoint.Encoder) error {
+	enc.Varint(b.touched)
+	enc.Varint(b.lastExp)
+	enc.Bool(b.unsorted)
+	enc.Tuples(b.items[b.head:])
+	return enc.Err()
+}
+
+// LoadState implements checkpoint.Snapshotter.
+func (b *FIFOBuffer) LoadState(dec *checkpoint.Decoder) error {
+	b.touched = dec.Varint()
+	b.lastExp = dec.Varint()
+	b.unsorted = dec.Bool()
+	b.items = dec.Tuples()
+	b.head = 0
+	return dec.Err()
+}

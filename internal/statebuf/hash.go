@@ -1,6 +1,9 @@
 package statebuf
 
-import "repro/internal/tuple"
+import (
+	"repro/internal/checkpoint"
+	"repro/internal/tuple"
+)
 
 // HashBuffer keys stored tuples by a configured column set. It backs the
 // negative-tuple strategy (Section 2.3.1: "the negative tuple approach can be
@@ -157,3 +160,37 @@ func (b *HashBuffer) Touched() int64 { return b.touched }
 
 // Kind identifies the buffer implementation (KindHash).
 func (b *HashBuffer) Kind() Kind { return KindHash }
+
+// SaveState implements checkpoint.Snapshotter: cost counter, then the stored
+// tuples (bucket order is unspecified; LoadState re-keys them).
+func (b *HashBuffer) SaveState(enc *checkpoint.Encoder) error {
+	enc.Varint(b.touched)
+	enc.Uvarint(uint64(b.size))
+	for _, bucket := range b.buckets {
+		for _, t := range bucket {
+			enc.Tuple(t)
+		}
+	}
+	return enc.Err()
+}
+
+// LoadState implements checkpoint.Snapshotter: tuples are re-inserted (the
+// key columns come from the plan-built configuration), then the saved cost
+// counter overwrites the inserts' increments.
+func (b *HashBuffer) LoadState(dec *checkpoint.Decoder) error {
+	touched := dec.Varint()
+	b.buckets = make(map[tuple.Key][]tuple.Tuple)
+	b.size = 0
+	n := dec.Count()
+	for i := 0; i < n && dec.Err() == nil; i++ {
+		t := dec.Tuple()
+		// Check the latch before inserting: a truncated stream yields a zero
+		// tuple whose key columns would index out of range.
+		if dec.Err() != nil {
+			break
+		}
+		b.Insert(t)
+	}
+	b.touched = touched
+	return dec.Err()
+}

@@ -1,6 +1,9 @@
 package statebuf
 
-import "repro/internal/tuple"
+import (
+	"repro/internal/checkpoint"
+	"repro/internal/tuple"
+)
 
 // IndexedFIFO combines the WKS insight — expiration order equals insertion
 // order, so expirations pop from a queue in O(1) — with a hash index on key
@@ -118,3 +121,22 @@ func (b *IndexedFIFO) compact() {
 
 // Kind identifies the buffer implementation (KindIndexedFIFO).
 func (b *IndexedFIFO) Kind() Kind { return KindIndexedFIFO }
+
+// SaveState implements checkpoint.Snapshotter: the FIFO invariant flags, the
+// queue suffix (including stale entries — they are part of the structure's
+// exact state), then the hash index section.
+func (b *IndexedFIFO) SaveState(enc *checkpoint.Encoder) error {
+	enc.Varint(b.lastExp)
+	enc.Bool(b.unsorted)
+	enc.Tuples(b.queue[b.head:])
+	return b.hash.SaveState(enc)
+}
+
+// LoadState implements checkpoint.Snapshotter.
+func (b *IndexedFIFO) LoadState(dec *checkpoint.Decoder) error {
+	b.lastExp = dec.Varint()
+	b.unsorted = dec.Bool()
+	b.queue = dec.Tuples()
+	b.head = 0
+	return b.hash.LoadState(dec)
+}

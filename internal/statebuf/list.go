@@ -3,6 +3,7 @@ package statebuf
 import (
 	"container/list"
 
+	"repro/internal/checkpoint"
 	"repro/internal/tuple"
 )
 
@@ -86,3 +87,26 @@ func (b *ListBuffer) Touched() int64 { return b.touched }
 
 // Kind identifies the buffer implementation (KindList).
 func (b *ListBuffer) Kind() Kind { return KindList }
+
+// SaveState implements checkpoint.Snapshotter: cost counter, then the tuples
+// front to back.
+func (b *ListBuffer) SaveState(enc *checkpoint.Encoder) error {
+	enc.Varint(b.touched)
+	enc.Uvarint(uint64(b.items.Len()))
+	for e := b.items.Front(); e != nil; e = e.Next() {
+		enc.Tuple(e.Value.(tuple.Tuple))
+	}
+	return enc.Err()
+}
+
+// LoadState implements checkpoint.Snapshotter. Tuples are relinked directly
+// (not via Insert) so the saved cost counter is reproduced exactly.
+func (b *ListBuffer) LoadState(dec *checkpoint.Decoder) error {
+	b.touched = dec.Varint()
+	b.items = list.New()
+	n := dec.Count()
+	for i := 0; i < n && dec.Err() == nil; i++ {
+		b.items.PushBack(dec.Tuple())
+	}
+	return dec.Err()
+}

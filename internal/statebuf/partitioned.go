@@ -3,6 +3,7 @@ package statebuf
 import (
 	"sort"
 
+	"repro/internal/checkpoint"
 	"repro/internal/tuple"
 )
 
@@ -283,3 +284,49 @@ func (b *PartitionedBuffer) Touched() int64 { return b.touched }
 
 // Kind identifies the buffer implementation (KindPartitioned).
 func (b *PartitionedBuffer) Kind() Kind { return KindPartitioned }
+
+// SaveState implements checkpoint.Snapshotter: the calendar cursor, the cost
+// counter, then the tuples (partitions in slot order, then overflow). Width,
+// partition count, and the byExp variant come from the plan-built
+// configuration and are not serialized.
+func (b *PartitionedBuffer) SaveState(enc *checkpoint.Encoder) error {
+	enc.Varint(b.lowBkt)
+	enc.Varint(b.touched)
+	enc.Uvarint(uint64(b.size))
+	for pi := range b.parts {
+		for _, t := range b.parts[pi].items {
+			enc.Tuple(t)
+		}
+	}
+	for _, t := range b.overflow {
+		enc.Tuple(t)
+	}
+	return enc.Err()
+}
+
+// LoadState implements checkpoint.Snapshotter. The cursor is restored before
+// re-inserting so every tuple lands in the bucket it occupied at save time
+// (live buckets all lie in [lowBkt, lowBkt+len(parts)), so placement is
+// deterministic); the saved cost counter then overwrites the inserts'
+// increments.
+func (b *PartitionedBuffer) LoadState(dec *checkpoint.Decoder) error {
+	b.lowBkt = dec.Varint()
+	touched := dec.Varint()
+	for pi := range b.parts {
+		b.parts[pi].items = nil
+	}
+	b.overflow = nil
+	b.size = 0
+	n := dec.Count()
+	for i := 0; i < n && dec.Err() == nil; i++ {
+		t := dec.Tuple()
+		// Check the latch before inserting so a truncated stream cannot
+		// plant a zero tuple in a live bucket.
+		if dec.Err() != nil {
+			break
+		}
+		b.Insert(t)
+	}
+	b.touched = touched
+	return dec.Err()
+}

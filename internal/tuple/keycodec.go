@@ -1,0 +1,17 @@
+package tuple
+
+// Raw exposes the key's internal representation — the packed column count,
+// the fixed value array, and the wide-key string rendering — so the
+// checkpoint codec can serialize keys exactly. A key rebuilt by KeyFromRaw
+// from these parts compares == to the original, which is what lets decoded
+// keys index the same map buckets they were saved from.
+func (k Key) Raw() (n int, v [3]Value, wide string) {
+	return k.n, k.v, k.wide
+}
+
+// KeyFromRaw reconstructs a key from the parts returned by Raw. It performs
+// no canonicalization: the parts were produced by Tuple.Key, which already
+// canonicalized the values, so an exact field copy preserves equality.
+func KeyFromRaw(n int, v [3]Value, wide string) Key {
+	return Key{n: n, v: v, wide: wide}
+}

@@ -13,6 +13,7 @@ package window
 import (
 	"fmt"
 
+	"repro/internal/checkpoint"
 	"repro/internal/statebuf"
 	"repro/internal/tuple"
 )
@@ -186,3 +187,33 @@ func (w *Window) Contents(fn func(t tuple.Tuple) bool) {
 
 // Arrivals returns the total number of tuples admitted.
 func (w *Window) Arrivals() int64 { return w.count }
+
+// SaveState implements checkpoint.Snapshotter: the monotonicity cursor, the
+// arrival count, and — when materializing — the stored contents. The spec
+// itself comes from the plan and is covered by the restore fingerprint.
+func (w *Window) SaveState(enc *checkpoint.Encoder) error {
+	enc.Varint(w.lastTS)
+	enc.Varint(w.count)
+	enc.Bool(w.buf != nil)
+	if w.buf != nil {
+		return w.buf.SaveState(enc)
+	}
+	return enc.Err()
+}
+
+// LoadState implements checkpoint.Snapshotter.
+func (w *Window) LoadState(dec *checkpoint.Decoder) error {
+	w.lastTS = dec.Varint()
+	w.count = dec.Varint()
+	materialized := dec.Bool()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if materialized != (w.buf != nil) {
+		return fmt.Errorf("%w: window materialization flag disagrees with plan", checkpoint.ErrCorrupt)
+	}
+	if w.buf != nil {
+		return w.buf.LoadState(dec)
+	}
+	return nil
+}

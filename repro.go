@@ -53,9 +53,12 @@
 package repro
 
 import (
+	"errors"
+	"fmt"
 	"io"
 
 	"repro/internal/bench"
+	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/plan"
@@ -64,6 +67,27 @@ import (
 	"repro/internal/tuple"
 	"repro/internal/window"
 )
+
+// Sentinel errors of the facade's error contract. Test them with errors.Is.
+var (
+	// ErrClosed is returned by ingest and checkpoint calls after Close.
+	ErrClosed = errors.New("repro: engine is closed")
+	// ErrNoKeyedView is returned by Lookup when the chosen view structure
+	// does not support keyed access (FIFO/list/partitioned views under
+	// DIRECT and most UPA plans — use Snapshot there).
+	ErrNoKeyedView = errors.New("repro: view does not support keyed lookup")
+	// ErrCheckpointCorrupt is wrapped by Restore errors caused by truncated
+	// or damaged checkpoint data.
+	ErrCheckpointCorrupt = checkpoint.ErrCorrupt
+	// ErrCheckpointVersion is wrapped by Restore errors caused by a
+	// checkpoint written under an unsupported format version.
+	ErrCheckpointVersion = checkpoint.ErrVersion
+)
+
+// MismatchError is the typed error Restore returns when a checkpoint was
+// written by a different plan — another query, strategy, schema, or shard
+// layout. The restore fails before any engine state is touched.
+type MismatchError = checkpoint.MismatchError
 
 // Re-exported data-model types.
 type (
@@ -233,17 +257,21 @@ func WithStreamStats(streamID int, rate float64, distinct map[int]float64) Optio
 // (WithShards). Exactly one of seq/sh is set; every method delegates to
 // whichever is live.
 type Engine struct {
-	seq  *exec.Engine
-	sh   *exec.Sharded
-	phys *plan.Physical
-	root *plan.Node
+	seq    *exec.Engine
+	sh     *exec.Sharded
+	phys   *plan.Physical
+	root   *plan.Node
+	closed bool
 }
 
 // Compile annotates, (optionally) optimizes, physically plans, and
-// instantiates the query under the given strategy.
+// instantiates the query under the given strategy. Failures are wrapped per
+// compilation stage (query validation, annotation, optimization, physical
+// planning, executor construction) with the underlying cause preserved for
+// errors.Is/As.
 func Compile(q Node, strategy Strategy, opts ...Option) (*Engine, error) {
 	if q.err != nil {
-		return nil, q.err
+		return nil, fmt.Errorf("repro: invalid query: %w", q.err)
 	}
 	cfg := compileCfg{stats: plan.DefaultStats()}
 	for _, o := range opts {
@@ -251,35 +279,55 @@ func Compile(q Node, strategy Strategy, opts ...Option) (*Engine, error) {
 	}
 	root := q.n
 	if err := plan.Annotate(root, cfg.stats); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("repro: annotate: %w", err)
 	}
 	if cfg.optimize {
 		best, err := plan.Optimize(root, strategy, cfg.stats)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("repro: optimize: %w", err)
 		}
 		root = best
 	}
 	phys, err := plan.Build(root, strategy, cfg.planOpts)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("repro: plan: %w", err)
 	}
 	if cfg.shards > 1 {
 		sh, err := exec.NewSharded(phys, cfg.execCfg, cfg.shards)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("repro: executor: %w", err)
 		}
 		return &Engine{sh: sh, phys: phys, root: root}, nil
 	}
 	eng, err := exec.New(phys, cfg.execCfg)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("repro: executor: %w", err)
 	}
 	return &Engine{seq: eng, phys: phys, root: root}, nil
 }
 
+// Open compiles the query and restores the engine's state from a checkpoint
+// written by an engine compiled from the same query, strategy, and options
+// (including WithShards — a 4-shard checkpoint reopens only at 4 shards).
+// On a restore failure the freshly compiled engine is closed and the error
+// (a *MismatchError for plan/shard-layout disagreements) is returned.
+func Open(r io.Reader, q Node, strategy Strategy, opts ...Option) (*Engine, error) {
+	eng, err := Compile(q, strategy, opts...)
+	if err != nil {
+		return nil, err
+	}
+	if err := eng.Restore(r); err != nil {
+		eng.Close()
+		return nil, err
+	}
+	return eng, nil
+}
+
 // Push feeds one stream tuple at its timestamp.
 func (e *Engine) Push(streamID int, ts int64, vals ...Value) error {
+	if e.closed {
+		return ErrClosed
+	}
 	if e.sh != nil {
 		return e.sh.Push(streamID, ts, vals...)
 	}
@@ -290,6 +338,9 @@ func (e *Engine) Push(streamID int, ts int64, vals ...Value) error {
 // pushing each in order, but amortizes per-call overhead and, on sharded
 // engines, keeps every shard's ingest queue full.
 func (e *Engine) PushBatch(batch []Arrival) error {
+	if e.closed {
+		return ErrClosed
+	}
 	if e.sh != nil {
 		return e.sh.PushBatch(batch)
 	}
@@ -298,6 +349,9 @@ func (e *Engine) PushBatch(batch []Arrival) error {
 
 // Advance moves logical time forward without a tuple arrival.
 func (e *Engine) Advance(ts int64) error {
+	if e.closed {
+		return ErrClosed
+	}
 	if e.sh != nil {
 		return e.sh.Advance(ts)
 	}
@@ -312,20 +366,36 @@ func (e *Engine) Sync() error {
 	return e.seq.Sync()
 }
 
+// synced is the shared sync-then-read path of every accessor that must
+// observe a Definition-1-exact view (Snapshot, ResultCount, StateTuples,
+// Touched, Lookup): force pending maintenance, then evaluate read against
+// the quiescent engine.
+func synced[T any](e *Engine, read func() (T, error)) (T, error) {
+	if err := e.Sync(); err != nil {
+		var zero T
+		return zero, err
+	}
+	return read()
+}
+
 // Snapshot syncs and copies the current result rows.
 func (e *Engine) Snapshot() ([]Tuple, error) {
-	if e.sh != nil {
-		return e.sh.Snapshot()
-	}
-	return e.seq.Snapshot()
+	return synced(e, func() ([]Tuple, error) {
+		if e.sh != nil {
+			return e.sh.Snapshot()
+		}
+		return e.seq.View().Snapshot(), nil
+	})
 }
 
 // ResultCount syncs and returns the current result cardinality.
 func (e *Engine) ResultCount() (int, error) {
-	if e.sh != nil {
-		return e.sh.ResultCount()
-	}
-	return e.seq.ResultCount()
+	return synced(e, func() (int, error) {
+		if e.sh != nil {
+			return e.sh.ResultCount()
+		}
+		return e.seq.View().Len(), nil
+	})
 }
 
 // Stats returns executor counters (summed across shards when sharded).
@@ -355,25 +425,23 @@ func (e *Engine) Streams() []int {
 // StateTuples syncs and returns the total stored tuples (state + view),
 // summed across shards when sharded.
 func (e *Engine) StateTuples() (int, error) {
-	if e.sh != nil {
-		return e.sh.StateTuples()
-	}
-	if err := e.seq.Sync(); err != nil {
-		return 0, err
-	}
-	return e.seq.StateTuples(), nil
+	return synced(e, func() (int, error) {
+		if e.sh != nil {
+			return e.sh.StateTuples()
+		}
+		return e.seq.StateTuples(), nil
+	})
 }
 
 // Touched syncs and returns cumulative tuple touches — the paper's
 // Section 6 work measure — summed across shards when sharded.
 func (e *Engine) Touched() (int64, error) {
-	if e.sh != nil {
-		return e.sh.Touched()
-	}
-	if err := e.seq.Sync(); err != nil {
-		return 0, err
-	}
-	return e.seq.Touched(), nil
+	return synced(e, func() (int64, error) {
+		if e.sh != nil {
+			return e.sh.Touched()
+		}
+		return e.seq.Touched(), nil
+	})
 }
 
 // View exposes the sequential engine's result view, or nil on a sharded
@@ -404,12 +472,50 @@ func (e *Engine) ShardFallbackReason() string {
 	return ""
 }
 
-// Close stops shard workers. Safe (and a no-op) on sequential engines, and
-// safe to call more than once.
-func (e *Engine) Close() {
-	if e.sh != nil {
-		e.sh.Close()
+// Close stops shard workers and marks the engine closed. It is idempotent —
+// the first call does the work, later calls return nil — and after it
+// returns, Push, PushBatch, Advance, UpdateTable, Checkpoint, and Restore
+// fail with ErrClosed.
+func (e *Engine) Close() error {
+	if e.closed {
+		return nil
 	}
+	e.closed = true
+	if e.sh != nil {
+		return e.sh.Close()
+	}
+	return nil
+}
+
+// Checkpoint writes the engine's complete dynamic state — clock, maintenance
+// cursors, counters, window contents, per-operator state, table contents,
+// and the result view, per shard when sharded — as a versioned binary
+// snapshot. Sharded engines quiesce their workers behind a batch barrier
+// first; checkpointing never perturbs the run it snapshots.
+func (e *Engine) Checkpoint(w io.Writer) error {
+	if e.closed {
+		return ErrClosed
+	}
+	if e.sh != nil {
+		return e.sh.Checkpoint(w)
+	}
+	return e.seq.Checkpoint(w)
+}
+
+// Restore rehydrates a freshly compiled engine from a checkpoint written by
+// an engine compiled from the same query, strategy, options, and shard
+// layout. The checkpoint's plan fingerprint and shard count are validated
+// first: a disagreement fails with *MismatchError before any engine state
+// is touched. Truncated or damaged input fails with an error wrapping
+// ErrCheckpointCorrupt.
+func (e *Engine) Restore(r io.Reader) error {
+	if e.closed {
+		return ErrClosed
+	}
+	if e.sh != nil {
+		return e.sh.Restore(r)
+	}
+	return e.seq.Restore(r)
 }
 
 // Schema returns the result schema.
@@ -478,35 +584,42 @@ func (e *Engine) Watermark() int64 {
 }
 
 // Lookup syncs and returns the current result rows whose key columns (the
-// view's retraction or group key) match the given values; it returns
-// (nil, false) when the chosen view structure does not support keyed access
-// (FIFO/list/partitioned views under DIRECT and most UPA plans — use
-// Snapshot there).
-func (e *Engine) Lookup(vals ...Value) ([]Tuple, bool) {
-	cols := make([]int, len(vals))
-	for i := range cols {
-		cols[i] = i
-	}
-	probe := tuple.Tuple{Vals: vals}
-	if e.sh != nil {
-		if err := e.sh.Sync(); err != nil {
-			return nil, false
+// view's retraction or group key) match the given values. When the chosen
+// view structure does not support keyed access (FIFO/list/partitioned views
+// under DIRECT and most UPA plans — use Snapshot there), it fails with
+// ErrNoKeyedView; an absent key is not an error and returns no rows.
+func (e *Engine) Lookup(vals ...Value) ([]Tuple, error) {
+	return synced(e, func() ([]Tuple, error) {
+		cols := make([]int, len(vals))
+		for i := range cols {
+			cols[i] = i
 		}
-		return e.sh.LookupKey(probe.Key(cols))
-	}
-	lv, ok := e.seq.View().(exec.Lookup)
-	if !ok {
-		return nil, false
-	}
-	if err := e.Sync(); err != nil {
-		return nil, false
-	}
-	return lv.LookupKey(probe.Key(cols))
+		k := tuple.Tuple{Vals: vals}.Key(cols)
+		if e.sh != nil {
+			rows, ok := e.sh.LookupKey(k)
+			if !ok {
+				return nil, ErrNoKeyedView
+			}
+			return rows, nil
+		}
+		lv, ok := e.seq.View().(exec.Lookup)
+		if !ok {
+			return nil, ErrNoKeyedView
+		}
+		rows, ok := lv.LookupKey(k)
+		if !ok {
+			return nil, ErrNoKeyedView
+		}
+		return rows, nil
+	})
 }
 
 // UpdateTable applies one table mutation at its timestamp, routing the
 // consequences (for retroactive tables) through the plan.
 func (e *Engine) UpdateTable(tbl *Table, u TableUpdate) error {
+	if e.closed {
+		return ErrClosed
+	}
 	if e.sh != nil {
 		return e.sh.ApplyTableUpdate(tbl, u)
 	}

@@ -2,6 +2,7 @@ package repro_test
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 
@@ -403,12 +404,12 @@ func TestLookup(t *testing.T) {
 	}
 	eng.Push(0, 1, repro.Int(1), repro.Str("ftp"), repro.Int(1))
 	eng.Push(0, 2, repro.Int(2), repro.Str("ftp"), repro.Int(1))
-	rows, ok := eng.Lookup(repro.Str("ftp"))
-	if !ok || len(rows) != 1 || rows[0].Vals[1] != repro.Int(2) {
-		t.Fatalf("keyed lookup: %v %v", rows, ok)
+	rows, err := eng.Lookup(repro.Str("ftp"))
+	if err != nil || len(rows) != 1 || rows[0].Vals[1] != repro.Int(2) {
+		t.Fatalf("keyed lookup: %v %v", rows, err)
 	}
-	if rows, ok := eng.Lookup(repro.Str("nntp")); !ok || len(rows) != 0 {
-		t.Fatalf("absent group lookup: %v %v", rows, ok)
+	if rows, err := eng.Lookup(repro.Str("nntp")); err != nil || len(rows) != 0 {
+		t.Fatalf("absent group lookup: %v %v", rows, err)
 	}
 	// NT hash view: lookup by full row.
 	j := repro.Stream(0, schema, repro.TimeWindow(50)).Select("src")
@@ -417,18 +418,18 @@ func TestLookup(t *testing.T) {
 		t.Fatal(err)
 	}
 	nt.Push(0, 1, repro.Int(7), repro.Str("ftp"), repro.Int(1))
-	rows, ok = nt.Lookup(repro.Int(7))
-	if !ok || len(rows) != 1 {
-		t.Fatalf("hash lookup: %v %v", rows, ok)
+	rows, err = nt.Lookup(repro.Int(7))
+	if err != nil || len(rows) != 1 {
+		t.Fatalf("hash lookup: %v %v", rows, err)
 	}
-	// FIFO view (UPA over WKS root): no keyed access.
+	// FIFO view (UPA over WKS root): no keyed access, typed sentinel.
 	upa, err := repro.Compile(j, repro.UPA)
 	if err != nil {
 		t.Fatal(err)
 	}
 	upa.Push(0, 1, repro.Int(7), repro.Str("ftp"), repro.Int(1))
-	if _, ok := upa.Lookup(repro.Int(7)); ok {
-		t.Fatal("FIFO view should not support keyed lookup")
+	if _, err := upa.Lookup(repro.Int(7)); !errors.Is(err, repro.ErrNoKeyedView) {
+		t.Fatalf("FIFO view lookup error = %v, want ErrNoKeyedView", err)
 	}
 }
 
@@ -486,9 +487,9 @@ func TestWithShards(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	rows, ok := geng.Lookup(repro.Int(2))
-	if !ok || len(rows) != 1 || rows[0].Vals[1] != repro.Int(5) {
-		t.Fatalf("sharded Lookup(2) = %v, %v (want one group with count 5)", rows, ok)
+	rows, err := geng.Lookup(repro.Int(2))
+	if err != nil || len(rows) != 1 || rows[0].Vals[1] != repro.Int(5) {
+		t.Fatalf("sharded Lookup(2) = %v, %v (want one group with count 5)", rows, err)
 	}
 }
 
