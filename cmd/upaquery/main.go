@@ -360,17 +360,32 @@ func run(queryName, cqlText string, cqlLinks int, strategyName string, windowSiz
 			return err
 		}
 	} else {
+		// Sequential ingest goes through the same batched fast path as the
+		// sharded executor: whole same-(stream, timestamp) runs flow down the
+		// plan with pooled emit buffers instead of per-tuple Process calls.
+		// Progress and periodic checkpoints land on batch boundaries, the
+		// same granularity the sharded path has always used.
+		batch := make([]exec.Arrival, 0, 256)
+		flushed := skip
 		for i, r := range recs {
 			if r.Link >= nLinks {
 				return fmt.Errorf("trace record on link %d, but query reads %d links", r.Link, nLinks)
 			}
-			if err := seq.Push(r.Link, r.TS, r.Vals...); err != nil {
-				return err
+			batch = append(batch, exec.Arrival{Stream: r.Link, TS: r.TS, Vals: r.Vals})
+			if len(batch) == cap(batch) {
+				if err := seq.PushBatch(batch); err != nil {
+					return err
+				}
+				batch = batch[:0]
+				prog.maybe(i+1, seq)
+				if err := periodicCheckpoint(flushed, skip+i+1); err != nil {
+					return err
+				}
+				flushed = skip + i + 1
 			}
-			prog.maybe(i+1, seq)
-			if err := periodicCheckpoint(skip+i, skip+i+1); err != nil {
-				return err
-			}
+		}
+		if err := seq.PushBatch(batch); err != nil {
+			return err
 		}
 		if err := seq.Sync(); err != nil {
 			return err

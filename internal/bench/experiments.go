@@ -86,9 +86,15 @@ func windowsFor(q Query, s Scale) []int64 {
 func sweep(id, title string, q Query, variants []Variant, s Scale) ([]Table, error) {
 	windows := windowsFor(q, s)
 	timeTab := Table{
-		ID:      id,
-		Title:   title + " — execution time (ms per 1000 tuples)",
-		Columns: append([]string{"window"}, variantNames(variants)...),
+		ID:    id,
+		Title: title + " — execution time (ms per 1000 tuples) with allocation rate",
+		// Each variant carries its time column plus the run's heap
+		// allocation rate (objects and bytes per input tuple), so result
+		// files track the allocation trajectory alongside wall-clock.
+		Columns: []string{"window"},
+	}
+	for _, v := range variants {
+		timeTab.Columns = append(timeTab.Columns, v.Name, v.Name+" allocs/op", v.Name+" B/op")
 	}
 	stateTab := Table{
 		ID:      id + "-state",
@@ -105,7 +111,8 @@ func sweep(id, title string, q Query, variants []Variant, s Scale) ([]Table, err
 			if err != nil {
 				return nil, fmt.Errorf("%s %s w=%d: %w", id, v.Name, w, err)
 			}
-			timeRow = append(timeRow, fmt.Sprintf("%.3f", res.MsPerK))
+			timeRow = append(timeRow, fmt.Sprintf("%.3f", res.MsPerK),
+				fmt.Sprintf("%.2f", res.AllocsPerOp()), fmt.Sprintf("%.0f", res.BytesPerOp()))
 			stateRow = append(stateRow, fmt.Sprint(res.MaxState))
 			lastResults = append(lastResults, res)
 		}
@@ -359,7 +366,7 @@ func runShardSweep(s Scale) ([]Table, error) {
 	tab := Table{
 		ID:      "e9",
 		Title:   fmt.Sprintf("Shard sweep, Query 1 (ftp), window %d — UPA, batched ingest", w),
-		Columns: []string{"shards", "ms/1k tuples", "tuples/s", "speedup", "peak state"},
+		Columns: []string{"shards", "ms/1k tuples", "tuples/s", "speedup", "allocs/op", "B/op", "peak state"},
 		Notes: "Arrivals are routed by the join key's hash across independent engine shards " +
 			"(DESIGN.md \"Sharded execution\") and fed in batches of 256. Speedup is relative " +
 			"to the 1-shard row and needs as many idle cores as shards to materialize; on " +
@@ -380,7 +387,9 @@ func runShardSweep(s Scale) ([]Table, error) {
 		}
 		tab.Rows = append(tab.Rows, []string{
 			fmt.Sprint(shards), fmt.Sprintf("%.3f", res.MsPerK), fmt.Sprintf("%.0f", perSec),
-			fmt.Sprintf("%.2fx", base/res.MsPerK), fmt.Sprint(res.MaxState),
+			fmt.Sprintf("%.2fx", base/res.MsPerK),
+			fmt.Sprintf("%.2f", res.AllocsPerOp()), fmt.Sprintf("%.0f", res.BytesPerOp()),
+			fmt.Sprint(res.MaxState),
 		})
 	}
 	return []Table{tab}, nil
@@ -394,7 +403,7 @@ func runPartitionSweep(s Scale) ([]Table, error) {
 	tab := Table{
 		ID:      "e6",
 		Title:   fmt.Sprintf("Partition sweep, Query 1 (ftp), window %d — UPA time and state", w),
-		Columns: []string{"partitions", "ms/1k tuples", "peak state", "touched"},
+		Columns: []string{"partitions", "ms/1k tuples", "allocs/op", "B/op", "peak state", "touched"},
 		Notes:   "More partitions cut per-expiration scans but add per-partition overhead (Section 5.3.2).",
 	}
 	for _, parts := range []int{1, 2, 5, 10, 20, 50, 100} {
@@ -403,7 +412,9 @@ func runPartitionSweep(s Scale) ([]Table, error) {
 			return nil, err
 		}
 		tab.Rows = append(tab.Rows, []string{
-			fmt.Sprint(parts), fmt.Sprintf("%.3f", res.MsPerK), fmt.Sprint(res.MaxState), fmt.Sprint(res.Touched),
+			fmt.Sprint(parts), fmt.Sprintf("%.3f", res.MsPerK),
+			fmt.Sprintf("%.2f", res.AllocsPerOp()), fmt.Sprintf("%.0f", res.BytesPerOp()),
+			fmt.Sprint(res.MaxState), fmt.Sprint(res.Touched),
 		})
 	}
 	return []Table{tab}, nil
@@ -417,7 +428,7 @@ func runLazySweep(s Scale) ([]Table, error) {
 	tab := Table{
 		ID:      "e7",
 		Title:   fmt.Sprintf("Lazy-interval sweep, Query 1 (ftp), window %d — UPA", w),
-		Columns: []string{"lazy % of window", "ms/1k tuples", "peak state"},
+		Columns: []string{"lazy % of window", "ms/1k tuples", "allocs/op", "B/op", "peak state"},
 		Notes:   "Larger intervals trade memory (expired tuples linger) for time; Section 6.1 reports 'slightly better performance'.",
 	}
 	for _, pct := range []int64{1, 2, 5, 10, 25, 50} {
@@ -426,7 +437,9 @@ func runLazySweep(s Scale) ([]Table, error) {
 			return nil, err
 		}
 		tab.Rows = append(tab.Rows, []string{
-			fmt.Sprint(pct), fmt.Sprintf("%.3f", res.MsPerK), fmt.Sprint(res.MaxState),
+			fmt.Sprint(pct), fmt.Sprintf("%.3f", res.MsPerK),
+			fmt.Sprintf("%.2f", res.AllocsPerOp()), fmt.Sprintf("%.0f", res.BytesPerOp()),
+			fmt.Sprint(res.MaxState),
 		})
 	}
 	return []Table{tab}, nil

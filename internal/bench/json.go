@@ -25,10 +25,15 @@ type Report struct {
 	Experiments []ExperimentReport `json:"experiments"`
 }
 
-// ExperimentReport is one experiment's rendered tables.
+// ExperimentReport is one experiment's rendered tables. NumCPU is stamped
+// per experiment (not only at the report top level) because core-count
+// caveats are experiment-specific: e9's parallel speedups are meaningless
+// when NumCPU < shards, and a result file's experiments may be merged from
+// runs on different hosts.
 type ExperimentReport struct {
 	ID     string  `json:"id"`
 	Title  string  `json:"title"`
+	NumCPU int     `json:"num_cpu"`
 	Tables []Table `json:"tables"`
 }
 
@@ -43,9 +48,12 @@ func NewReport(scale string) *Report {
 	}
 }
 
-// Add appends one experiment's tables to the report.
+// Add appends one experiment's tables to the report, stamped with the
+// host's core count.
 func (r *Report) Add(id, title string, tabs []Table) {
-	r.Experiments = append(r.Experiments, ExperimentReport{ID: id, Title: title, Tables: tabs})
+	r.Experiments = append(r.Experiments, ExperimentReport{
+		ID: id, Title: title, NumCPU: runtime.NumCPU(), Tables: tabs,
+	})
 }
 
 // WriteJSON renders the report as indented JSON.

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"runtime"
 	"sync/atomic"
 	"time"
 
@@ -113,6 +114,12 @@ type Result struct {
 	// sharded run degraded to one shard.
 	Shards        int
 	ShardFallback string
+	// Allocs/AllocBytes are process-wide heap allocation deltas across the
+	// timed region (runtime.ReadMemStats before and after, so sharded
+	// workers are covered too). They track the allocation trajectory of the
+	// ingest path alongside wall-clock time in the experiment tables.
+	Allocs     uint64
+	AllocBytes uint64
 	// Metrics is the run's end-of-run metric snapshot (engine counters,
 	// gauges, and per-operator series) — the registry-backed view of the
 	// same measures, embedded in experiment report tables.
@@ -121,6 +128,23 @@ type Result struct {
 	// summed across shards for a sharded run — the EXPLAIN ANALYZE view of
 	// the same execution, embedded in experiment report tables.
 	Ops []exec.OpProfile
+}
+
+// AllocsPerOp returns heap allocations per input tuple (benchmark-style
+// "per op" normalization).
+func (r Result) AllocsPerOp() float64 {
+	if r.Tuples == 0 {
+		return 0
+	}
+	return float64(r.Allocs) / float64(r.Tuples)
+}
+
+// BytesPerOp returns heap bytes allocated per input tuple.
+func (r Result) BytesPerOp() float64 {
+	if r.Tuples == 0 {
+		return 0
+	}
+	return float64(r.AllocBytes) / float64(r.Tuples)
 }
 
 // Run executes query q once under rc and reports the measurements.
@@ -165,6 +189,8 @@ func Run(q Query, rc RunConfig) (Result, error) {
 	if err != nil {
 		return Result{}, fmt.Errorf("bench %v: %w", q, err)
 	}
+	var m0 runtime.MemStats
+	runtime.ReadMemStats(&m0)
 	start := time.Now()
 	var n int64
 	for {
@@ -181,6 +207,8 @@ func Run(q Query, rc RunConfig) (Result, error) {
 		return Result{}, fmt.Errorf("bench %v: sync: %w", q, err)
 	}
 	elapsed := time.Since(start)
+	var m1 runtime.MemStats
+	runtime.ReadMemStats(&m1)
 
 	st := eng.Stats()
 	return Result{
@@ -196,6 +224,8 @@ func Run(q Query, rc RunConfig) (Result, error) {
 		Retracted:       st.Retracted,
 		WindowNegatives: st.WindowNegatives,
 		FinalResults:    eng.View().Len(),
+		Allocs:          m1.Mallocs - m0.Mallocs,
+		AllocBytes:      m1.TotalAlloc - m0.TotalAlloc,
 		Metrics:         eng.Metrics().Snapshot(),
 		Ops:             eng.Profile(),
 		Shards:          1,
@@ -212,6 +242,8 @@ func runSharded(q Query, rc RunConfig, phys *plan.Physical, cfg exec.Config, gen
 	}
 	defer sh.Close()
 
+	var m0 runtime.MemStats
+	runtime.ReadMemStats(&m0)
 	start := time.Now()
 	var n int64
 	batch := make([]exec.Arrival, 0, shardFeedBatch)
@@ -237,6 +269,8 @@ func runSharded(q Query, rc RunConfig, phys *plan.Physical, cfg exec.Config, gen
 		return Result{}, fmt.Errorf("bench %v: sync: %w", q, err)
 	}
 	elapsed := time.Since(start)
+	var m1 runtime.MemStats
+	runtime.ReadMemStats(&m1)
 
 	touched, err := sh.Touched()
 	if err != nil {
@@ -260,6 +294,8 @@ func runSharded(q Query, rc RunConfig, phys *plan.Physical, cfg exec.Config, gen
 		Retracted:       st.Retracted,
 		WindowNegatives: st.WindowNegatives,
 		FinalResults:    finalResults,
+		Allocs:          m1.Mallocs - m0.Mallocs,
+		AllocBytes:      m1.TotalAlloc - m0.TotalAlloc,
 		Metrics:         sh.Metrics().Snapshot(),
 		Ops:             sh.Profile(),
 		Shards:          sh.Shards(),

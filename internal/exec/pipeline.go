@@ -196,6 +196,26 @@ func (p *Pipeline) Err() error {
 
 // Push admits one base-stream tuple (single producer only).
 func (p *Pipeline) Push(streamID int, ts int64, vals ...tuple.Value) error {
+	return p.push(streamID, ts, vals)
+}
+
+// PushBatch admits a run of arrivals in one call (single producer only),
+// mirroring Engine.PushBatch. Each element is admitted exactly as Push would
+// admit it — watermarks and NT window retractions included — so the two entry
+// points are interchangeable; PushBatch skips the per-tuple variadic slice
+// construction Push pays at every call site and keeps the producer loop in
+// one frame.
+func (p *Pipeline) PushBatch(batch []Arrival) error {
+	for _, a := range batch {
+		if err := p.push(a.Stream, a.TS, a.Vals); err != nil {
+			return err
+		}
+	}
+	return p.Err()
+}
+
+// push is the shared body of Push and PushBatch.
+func (p *Pipeline) push(streamID int, ts int64, vals []tuple.Value) error {
 	if p.closed {
 		return fmt.Errorf("exec: pipeline closed")
 	}

@@ -64,6 +64,10 @@ type Sharded struct {
 	// Worker plumbing; nil chans means sequential (single shard, no workers).
 	chans   []chan shardOp
 	pending [][]Arrival
+	// free recycles drained batch slices from worker back to producer, so
+	// steady-state ingest reuses at most queue-depth+1 buffers per shard
+	// instead of allocating one per flush.
+	free []chan []Arrival
 	wg      sync.WaitGroup
 	closed  sync.Once
 	// done is set by Close; subsequent mutating calls return ErrClosed
@@ -150,6 +154,7 @@ func NewSharded(phys *plan.Physical, cfg Config, n int) (*Sharded, error) {
 		s.timed = cfg.Metrics != nil
 		s.chans = make([]chan shardOp, n)
 		s.pending = make([][]Arrival, n)
+		s.free = make([]chan []Arrival, n)
 		s.qdepth = make([]*obs.Gauge, n)
 		s.blocked = make([]*obs.Counter, n)
 		s.batches = make([]*obs.Counter, n)
@@ -162,6 +167,7 @@ func NewSharded(phys *plan.Physical, cfg Config, n int) (*Sharded, error) {
 			s.blocked[i] = reg.Counter(MetricShardQueueBlocked, "producer wall time blocked on a full shard queue", labels)
 			s.batches[i] = reg.Counter(MetricShardBatches, "ingest batches handed to the shard worker", labels)
 			s.chans[i] = make(chan shardOp, shardQueue)
+			s.free[i] = make(chan []Arrival, shardQueue+1)
 			s.wg.Add(1)
 			go s.worker(i)
 		}
@@ -183,6 +189,14 @@ func (s *Sharded) worker(i int) {
 			err = nil
 		case err == nil:
 			err = eng.PushBatch(op.batch)
+		}
+		if op.batch != nil {
+			// Recycle the drained slice to the producer; drop it when the
+			// free ring is full (Close can leave stragglers behind).
+			select {
+			case s.free[i] <- op.batch[:0]:
+			default:
+			}
 		}
 		s.qdepth[i].Set(int64(len(s.chans[i])))
 	}
@@ -235,6 +249,14 @@ func (s *Sharded) enqueue(a Arrival) error {
 		return fmt.Errorf("exec: no source for stream %d", a.Stream)
 	}
 	i := int(tuple.Tuple{Vals: a.Vals}.Key(cols).Hash64() % uint64(len(s.shards)))
+	if s.pending[i] == nil {
+		select {
+		case b := <-s.free[i]:
+			s.pending[i] = b
+		default:
+			s.pending[i] = make([]Arrival, 0, shardBatch)
+		}
+	}
 	s.pending[i] = append(s.pending[i], a)
 	if len(s.pending[i]) >= shardBatch {
 		s.flushShard(i)

@@ -94,13 +94,41 @@ func (d *Distinct) Process(side int, t tuple.Tuple, now int64) ([]tuple.Tuple, e
 	if side != 0 {
 		return nil, badSide("distinct", side)
 	}
-	out, err := d.Advance(now)
+	var out Emit
+	adv, err := d.Advance(now)
 	if err != nil {
 		return nil, err
 	}
+	out.AppendAll(adv)
+	d.processOne(t, now, &out)
+	return out.ts, nil
+}
+
+// ProcessBatch implements BatchProcessor: representative expiration runs once
+// per run (per-tuple Advance no-ops at an unchanged clock), then the per-tuple
+// bodies append into the shared buffer.
+func (d *Distinct) ProcessBatch(side int, in []tuple.Tuple, now int64, out *Emit) error {
+	if side != 0 {
+		return badSide("distinct", side)
+	}
+	adv, err := d.Advance(now)
+	if err != nil {
+		return err
+	}
+	out.AppendAll(adv)
+	for i := range in {
+		d.processOne(in[i], now, out)
+	}
+	return nil
+}
+
+// processOne is the shared per-tuple body of Process and ProcessBatch; the
+// caller has already run Advance for now.
+func (d *Distinct) processOne(t tuple.Tuple, now int64, out *Emit) {
 	k := t.Key(d.allCols)
 	if t.Neg {
-		return append(out, d.processNegative(k, t, now)...), nil
+		d.processNegative(k, t, now, out)
+		return
 	}
 	d.input.Insert(t)
 	if _, ok := d.reps[k]; !ok {
@@ -108,22 +136,21 @@ func (d *Distinct) Process(side int, t tuple.Tuple, now int64) ([]tuple.Tuple, e
 		rep.TS = now
 		d.reps[k] = rep
 		d.expIdx.Insert(rep)
-		out = append(out, rep)
+		out.Append(rep)
 	}
-	return out, nil
 }
 
 // processNegative removes one retracted input tuple and repairs the
 // representative for its value: retract it if no live duplicates remain, or
 // re-emit with a tighter expiration if the retracted tuple was the longest-
 // lived support.
-func (d *Distinct) processNegative(k tuple.Key, t tuple.Tuple, now int64) []tuple.Tuple {
+func (d *Distinct) processNegative(k tuple.Key, t tuple.Tuple, now int64, out *Emit) {
 	if !d.input.Remove(t) {
-		return nil
+		return
 	}
 	rep, ok := d.reps[k]
 	if !ok {
-		return nil
+		return
 	}
 	// Find the longest-lived remaining duplicate. Under the negative-tuple
 	// strategy stored tuples stay live until retracted, whatever their exp.
@@ -143,7 +170,7 @@ func (d *Distinct) processNegative(k tuple.Key, t tuple.Tuple, now int64) []tupl
 	case !found:
 		delete(d.reps, k)
 		d.expIdx.Remove(rep)
-		return []tuple.Tuple{rep.Negative(now)}
+		out.Append(rep.Negative(now))
 	case rep.Exp > best.Exp:
 		// The retracted tuple was the rep's support; shorten the rep.
 		d.expIdx.Remove(rep)
@@ -151,9 +178,8 @@ func (d *Distinct) processNegative(k tuple.Key, t tuple.Tuple, now int64) []tupl
 		newRep.TS = now
 		d.reps[k] = newRep
 		d.expIdx.Insert(newRep)
-		return []tuple.Tuple{rep.Negative(now), newRep}
-	default:
-		return nil
+		out.Append(rep.Negative(now))
+		out.Append(newRep)
 	}
 }
 

@@ -71,6 +71,40 @@ func (d *DistinctDelta) Process(side int, t tuple.Tuple, now int64) ([]tuple.Tup
 	if err != nil {
 		return nil, err
 	}
+	var e Emit
+	e.AppendAll(out)
+	d.processOne(t, now, &e)
+	return e.ts, nil
+}
+
+// ProcessBatch implements BatchProcessor: representative expiration runs once
+// per run; negative tuples still fail loudly (a planning bug, per Process).
+func (d *DistinctDelta) ProcessBatch(side int, in []tuple.Tuple, now int64, out *Emit) error {
+	if side != 0 {
+		return badSide("distinct-delta", side)
+	}
+	for i := range in {
+		// Process rejects negatives before advancing the clock; keep that
+		// order so batch and tuple-at-a-time stay emission-identical even on
+		// the error path.
+		if in[i].Neg {
+			return fmt.Errorf("distinct-delta: negative tuple %v on a %v input (planner must use Distinct for strict inputs)", in[i], core.Strict)
+		}
+		if i == 0 {
+			adv, err := d.Advance(now)
+			if err != nil {
+				return err
+			}
+			out.AppendAll(adv)
+		}
+		d.processOne(in[i], now, out)
+	}
+	return nil
+}
+
+// processOne is the shared per-tuple body of Process and ProcessBatch; the
+// caller has already run Advance for now and rejected negative tuples.
+func (d *DistinctDelta) processOne(t tuple.Tuple, now int64, out *Emit) {
 	k := t.Key(d.allCols)
 	if rep, ok := d.reps[k]; ok {
 		// Duplicate: remember it only if it outlives the current auxiliary
@@ -81,13 +115,13 @@ func (d *DistinctDelta) Process(side int, t tuple.Tuple, now int64) ([]tuple.Tup
 				d.aux[k] = t
 			}
 		}
-		return out, nil
+		return
 	}
 	rep := t
 	rep.TS = now
 	d.reps[k] = rep
 	d.expIdx.Insert(rep)
-	return append(out, rep), nil
+	out.Append(rep)
 }
 
 // Advance expires representatives eagerly, promoting live auxiliaries.

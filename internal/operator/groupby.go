@@ -120,15 +120,43 @@ func (g *GroupBy) Process(side int, t tuple.Tuple, now int64) ([]tuple.Tuple, er
 	if side != 0 {
 		return nil, badSide("groupby", side)
 	}
-	out, err := g.Advance(now)
+	var out Emit
+	adv, err := g.Advance(now)
 	if err != nil {
 		return nil, err
 	}
+	out.AppendAll(adv)
+	g.processOne(t, now, &out)
+	return out.ts, nil
+}
+
+// ProcessBatch implements BatchProcessor: input expiration runs once per run,
+// then each arrival updates its group and appends the replacement row into the
+// shared buffer.
+func (g *GroupBy) ProcessBatch(side int, in []tuple.Tuple, now int64, out *Emit) error {
+	if side != 0 {
+		return badSide("groupby", side)
+	}
+	adv, err := g.Advance(now)
+	if err != nil {
+		return err
+	}
+	out.AppendAll(adv)
+	for i := range in {
+		g.processOne(in[i], now, out)
+	}
+	return nil
+}
+
+// processOne is the shared per-tuple body of Process and ProcessBatch; the
+// caller has already run Advance for now.
+func (g *GroupBy) processOne(t tuple.Tuple, now int64, out *Emit) {
 	if t.Neg {
 		if g.input == nil || !g.input.Remove(t) {
-			return out, nil // retraction of an already-expired tuple
+			return // retraction of an already-expired tuple
 		}
-		return append(out, g.applyRemoval(t, now)...), nil
+		g.applyRemoval(t, now, out)
+		return
 	}
 	if g.input != nil {
 		g.input.Insert(t)
@@ -145,7 +173,7 @@ func (g *GroupBy) Process(side int, t tuple.Tuple, now int64) ([]tuple.Tuple, er
 	for _, a := range gs.aggs {
 		a.add(t)
 	}
-	return append(out, g.emit(k, gs, now)), nil
+	out.Append(g.emit(k, gs, now))
 }
 
 func (g *GroupBy) keyValsOf(t tuple.Tuple) []tuple.Value {
@@ -168,22 +196,23 @@ func (g *GroupBy) emit(k tuple.Key, gs *groupState, now int64) tuple.Tuple {
 	return r
 }
 
-// applyRemoval decrements a group after an input tuple leaves and emits the
+// applyRemoval decrements a group after an input tuple leaves and appends the
 // updated (or retracted) group row.
-func (g *GroupBy) applyRemoval(t tuple.Tuple, now int64) []tuple.Tuple {
+func (g *GroupBy) applyRemoval(t tuple.Tuple, now int64, out *Emit) {
 	k := t.Key(g.groupCols)
 	gs, ok := g.groups[k]
 	if !ok {
-		return nil
+		return
 	}
 	for _, a := range gs.aggs {
 		a.remove(t)
 	}
 	if gs.aggs[0].n == 0 {
 		delete(g.groups, k)
-		return []tuple.Tuple{gs.last.Negative(now)}
+		out.Append(gs.last.Negative(now))
+		return
 	}
-	return []tuple.Tuple{g.emit(k, gs, now)}
+	out.Append(g.emit(k, gs, now))
 }
 
 // Advance expires input state eagerly — aggregate values must stay correct

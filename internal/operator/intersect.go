@@ -96,22 +96,48 @@ func (x *Intersect) Process(side int, t tuple.Tuple, now int64) ([]tuple.Tuple, 
 	if side != 0 && side != 1 {
 		return nil, badSide("intersect", side)
 	}
-	out, err := x.Advance(now)
+	var out Emit
+	adv, err := x.Advance(now)
 	if err != nil {
 		return nil, err
 	}
+	out.AppendAll(adv)
+	x.processOne(side, t, now, &out)
+	return out.ts, nil
+}
+
+// ProcessBatch implements BatchProcessor: support expiration/re-pairing runs
+// once per run, then the per-tuple bodies append into the shared buffer.
+func (x *Intersect) ProcessBatch(side int, in []tuple.Tuple, now int64, out *Emit) error {
+	if side != 0 && side != 1 {
+		return badSide("intersect", side)
+	}
+	adv, err := x.Advance(now)
+	if err != nil {
+		return err
+	}
+	out.AppendAll(adv)
+	for i := range in {
+		x.processOne(side, in[i], now, out)
+	}
+	return nil
+}
+
+// processOne is the shared per-tuple body of Process and ProcessBatch; the
+// caller has already run Advance for now.
+func (x *Intersect) processOne(side int, t tuple.Tuple, now int64, out *Emit) {
 	k := t.Key(x.allCols)
 	if t.Neg {
-		return append(out, x.retract(side, k, t, now)...), nil
+		x.retract(side, k, t, now, out)
+		return
 	}
 	e := &isectEntry{t: t, side: side}
 	x.sides[side][k] = append(x.sides[side][k], e)
 	x.sizes[side]++
 	x.expIdx[side].Insert(t)
 	if r := x.tryPair(e, k, now); r != nil {
-		out = append(out, *r)
+		out.Append(*r)
 	}
-	return out, nil
 }
 
 // tryPair pairs e with the longest-lived unpaired live tuple on the opposite
@@ -145,7 +171,7 @@ func (x *Intersect) tryPair(e *isectEntry, k tuple.Key, now int64) *tuple.Tuple 
 // expiration match the negative tuple names (it identifies the actual
 // tuple), then unpaired entries (less churn). Retracting a paired support
 // emits a negative result and attempts a replacement pairing for the partner.
-func (x *Intersect) retract(side int, k tuple.Key, t tuple.Tuple, now int64) []tuple.Tuple {
+func (x *Intersect) retract(side int, k tuple.Key, t tuple.Tuple, now int64, out *Emit) {
 	entries := x.sides[side][k]
 	score := func(e *isectEntry) int {
 		s := 0
@@ -168,12 +194,12 @@ func (x *Intersect) retract(side int, k tuple.Key, t tuple.Tuple, now int64) []t
 		}
 	}
 	if victim < 0 {
-		return nil
+		return
 	}
 	e := entries[victim]
 	x.drop(side, k, victim)
 	if e.partner == nil {
-		return nil
+		return
 	}
 	p := e.partner
 	p.partner, e.partner = nil, nil
@@ -183,13 +209,12 @@ func (x *Intersect) retract(side int, k tuple.Key, t tuple.Tuple, now int64) []t
 	}
 	neg := e.t.Negative(now)
 	neg.Exp = exp
-	out := []tuple.Tuple{neg}
+	out.Append(neg)
 	if !p.t.Expired(now) {
 		if r := x.tryPair(p, k, now); r != nil {
-			out = append(out, *r)
+			out.Append(*r)
 		}
 	}
-	return out
 }
 
 func (x *Intersect) drop(side int, k tuple.Key, i int) {

@@ -31,7 +31,13 @@ type Join struct {
 	residual  Predicate // optional filter over the concatenated tuple
 	state     [2]statebuf.Buffer
 	keyCols   [2][]int
-	clock     int64
+	// keyed caches the KeyedInserter view of each buffer when its key
+	// columns are the join columns, so processOne derives the composite key
+	// once per tuple for both insert and probe.
+	keyed [2]statebuf.KeyedInserter
+	// cands is the reusable probe-candidate scratch of matches.
+	cands []tuple.Tuple
+	clock int64
 	// timeExpiry is false under the negative-tuple strategy: stored tuples
 	// are live until their retraction arrives, so probes must not skip
 	// them by exp timestamp.
@@ -86,7 +92,24 @@ func NewJoin(cfg JoinConfig) (*Join, error) {
 	}
 	j.state[0] = statebuf.New(lb)
 	j.state[1] = statebuf.New(rb)
+	for side := range j.state {
+		if ki, ok := j.state[side].(statebuf.KeyedInserter); ok && equalCols(ki.KeyCols(), j.keyCols[side]) {
+			j.keyed[side] = ki
+		}
+	}
 	return j, nil
+}
+
+func equalCols(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Class implements Operator.
@@ -100,26 +123,53 @@ func (j *Join) Process(side int, t tuple.Tuple, now int64) ([]tuple.Tuple, error
 	if side != 0 && side != 1 {
 		return nil, badSide("join", side)
 	}
+	var out Emit
+	j.processOne(side, t, now, &out)
+	return out.ts, nil
+}
+
+// ProcessBatch implements BatchProcessor: the whole run shares one output
+// buffer, so only result construction (Concat) allocates.
+func (j *Join) ProcessBatch(side int, in []tuple.Tuple, now int64, out *Emit) error {
+	if side != 0 && side != 1 {
+		return badSide("join", side)
+	}
+	for i := range in {
+		j.processOne(side, in[i], now, out)
+	}
+	return nil
+}
+
+// processOne is the shared per-tuple body of Process and ProcessBatch.
+func (j *Join) processOne(side int, t tuple.Tuple, now int64, out *Emit) {
 	if now > j.clock {
 		j.clock = now
 	}
 	if t.Neg {
-		return j.processNegative(side, t, now), nil
+		j.processNegative(side, t, now, out)
+		return
 	}
-	j.state[side].Insert(t)
-	return j.matches(side, t, now, false), nil
+	k := t.Key(j.keyCols[side])
+	if ki := j.keyed[side]; ki != nil {
+		ki.InsertKeyed(k, t)
+	} else {
+		j.state[side].Insert(t)
+	}
+	j.matches(side, t, k, now, false, out)
 }
 
-// matches probes the opposite side and builds (possibly negative) results.
-func (j *Join) matches(side int, t tuple.Tuple, now int64, neg bool) []tuple.Tuple {
+// matches probes the opposite side with t's precomputed join key k and
+// appends (possibly negative) results. Candidates are collected into the
+// join's scratch slice first: closure-based probing heap-allocates the
+// visitor and its captures on every probing arrival.
+func (j *Join) matches(side int, t tuple.Tuple, k tuple.Key, now int64, neg bool, out *Emit) {
 	other := 1 - side
-	k := t.Key(j.keyCols[side])
 	probeAt := now
 	if !j.timeExpiry {
 		probeAt = noExpiry
 	}
-	var out []tuple.Tuple
-	probe(j.state[other], j.keyCols[other], k, probeAt, func(m tuple.Tuple) bool {
+	cands := probeAppend(j.state[other], j.keyCols[other], k, probeAt, j.cands[:0])
+	for _, m := range cands {
 		var r tuple.Tuple
 		if side == 0 {
 			r = t.Concat(m, now)
@@ -127,22 +177,21 @@ func (j *Join) matches(side int, t tuple.Tuple, now int64, neg bool) []tuple.Tup
 			r = m.Concat(t, now)
 		}
 		if j.residual != nil && !j.residual.Eval(r) {
-			return true
+			continue
 		}
 		r.Neg = neg
-		out = append(out, r)
-		return true
-	})
-	return out
+		out.Append(r)
+	}
+	j.cands = cands[:0]
 }
 
-func (j *Join) processNegative(side int, t tuple.Tuple, now int64) []tuple.Tuple {
+func (j *Join) processNegative(side int, t tuple.Tuple, now int64, out *Emit) {
 	if !j.state[side].Remove(t) {
 		// The tuple may have been lazily expired already; nothing to retract
 		// beyond what exp timestamps retire at the consumers.
-		return nil
+		return
 	}
-	return j.matches(side, t, now, true)
+	j.matches(side, t, t.Key(j.keyCols[side]), now, true, out)
 }
 
 // Advance lazily discards expired state; window joins emit nothing on

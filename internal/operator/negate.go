@@ -143,10 +143,37 @@ func (n *Negate) Process(side int, t tuple.Tuple, now int64) ([]tuple.Tuple, err
 	if side != 0 && side != 1 {
 		return nil, badSide("negate", side)
 	}
-	out, err := n.Advance(now)
+	var out Emit
+	adv, err := n.Advance(now)
 	if err != nil {
 		return nil, err
 	}
+	out.AppendAll(adv)
+	n.processOne(side, t, now, &out)
+	return out.ts, nil
+}
+
+// ProcessBatch implements BatchProcessor: expiration/repair of both calendars
+// runs once per run, then the per-tuple event rules append into the shared
+// buffer.
+func (n *Negate) ProcessBatch(side int, in []tuple.Tuple, now int64, out *Emit) error {
+	if side != 0 && side != 1 {
+		return badSide("negate", side)
+	}
+	adv, err := n.Advance(now)
+	if err != nil {
+		return err
+	}
+	out.AppendAll(adv)
+	for i := range in {
+		n.processOne(side, in[i], now, out)
+	}
+	return nil
+}
+
+// processOne is the shared per-tuple body of Process and ProcessBatch; the
+// caller has already run Advance for now.
+func (n *Negate) processOne(side int, t tuple.Tuple, now int64, out *Emit) {
 	switch {
 	case side == 0 && !t.Neg:
 		k := t.Key(n.keyCols)
@@ -158,22 +185,21 @@ func (n *Negate) Process(side int, t tuple.Tuple, now int64) ([]tuple.Tuple, err
 		g.entries = append(g.entries, &negEntry{t: t})
 		n.w1size++
 		n.w1idx.Insert(t)
-		out = append(out, n.repair(k, now)...)
+		n.repair(k, now, out)
 	case side == 0 && t.Neg:
-		out = append(out, n.retractW1(t, now)...)
+		n.retractW1(t, now, out)
 	case side == 1 && !t.Neg:
 		k := t.Key(n.rightCols)
 		n.w2[k] = append(n.w2[k], t.Exp)
 		n.w2idx.Insert(t)
-		out = append(out, n.repair(k, now)...)
+		n.repair(k, now, out)
 	default: // side == 1, negative
 		k := t.Key(n.rightCols)
 		if n.removeW2(k, t.Exp) {
 			// The calendar entry stays and is skipped when it fires.
-			out = append(out, n.repair(k, now)...)
+			n.repair(k, now, out)
 		}
 	}
-	return out, nil
 }
 
 // removeW2 drops one live W2 multiplicity for k, preferring the exact
@@ -207,11 +233,11 @@ func (n *Negate) removeW2(k tuple.Key, exp int64) bool {
 // tuple is removed, preferring one that is not currently in the answer (so
 // no retraction needs to propagate); the quota repair handles the rest. The
 // calendar entry is left to fire as a no-op.
-func (n *Negate) retractW1(t tuple.Tuple, now int64) []tuple.Tuple {
+func (n *Negate) retractW1(t tuple.Tuple, now int64, out *Emit) {
 	k := t.Key(n.keyCols)
 	g := n.w1[k]
 	if g == nil {
-		return nil
+		return
 	}
 	entries := g.entries
 	// Prefer exact expiration matches, then entries outside the answer.
@@ -236,16 +262,15 @@ func (n *Negate) retractW1(t tuple.Tuple, now int64) []tuple.Tuple {
 		}
 	}
 	if victim < 0 {
-		return nil
+		return
 	}
 	e := entries[victim]
-	var out []tuple.Tuple
 	if e.inAns {
-		out = append(out, e.t.Negative(now))
+		out.Append(e.t.Negative(now))
 		n.prematureRetractions++
 	}
 	n.dropW1(k, victim)
-	return append(out, n.repair(k, now)...)
+	n.repair(k, now, out)
 }
 
 func (n *Negate) dropW1(k tuple.Key, i int) {
@@ -272,10 +297,10 @@ func (g *negGroup) dropMember(e *negEntry) {
 
 // repair enforces the Equation 1 invariant for one value: exactly
 // max(v1 − v2, 0) live W1-tuples in the answer.
-func (n *Negate) repair(k tuple.Key, now int64) []tuple.Tuple {
+func (n *Negate) repair(k tuple.Key, now int64, out *Emit) {
 	g := n.w1[k]
 	if g == nil {
-		return nil
+		return
 	}
 	entries := g.entries
 	target := len(entries) - len(n.w2[k])
@@ -284,9 +309,8 @@ func (n *Negate) repair(k tuple.Key, now int64) []tuple.Tuple {
 	}
 	cur := len(g.members)
 	if cur == target {
-		return nil // quota already satisfied: O(1) fast path
+		return // quota already satisfied: O(1) fast path
 	}
-	var out []tuple.Tuple
 	// Too many: retract oldest members first (the paper deletes the oldest
 	// on a W2 arrival). Only the member subset is touched.
 	for cur > target {
@@ -300,7 +324,7 @@ func (n *Negate) repair(k tuple.Key, now int64) []tuple.Tuple {
 		e := g.members[oldest]
 		g.members = append(g.members[:oldest], g.members[oldest+1:]...)
 		e.inAns = false
-		out = append(out, e.t.Negative(now))
+		out.Append(e.t.Negative(now))
 		n.prematureRetractions++
 		cur--
 	}
@@ -317,10 +341,9 @@ func (n *Negate) repair(k tuple.Key, now int64) []tuple.Tuple {
 		g.members = append(g.members, e)
 		r := e.t
 		r.TS = now
-		out = append(out, r)
+		out.Append(r)
 		cur++
 	}
-	return out
 }
 
 // Advance expires both inputs eagerly: W1 expirations shrink quotas (an
@@ -331,7 +354,7 @@ func (n *Negate) Advance(now int64) ([]tuple.Tuple, error) {
 		return nil, nil
 	}
 	n.clock = now
-	var out []tuple.Tuple
+	var out Emit
 	touchedKeys := make(map[tuple.Key]bool)
 	var order []tuple.Key
 	note := func(k tuple.Key) {
@@ -366,7 +389,7 @@ func (n *Negate) Advance(now int64) ([]tuple.Tuple, error) {
 		}
 		if victim >= 0 {
 			if n.negOnExp && entries[victim].inAns {
-				out = append(out, entries[victim].t.Negative(now))
+				out.Append(entries[victim].t.Negative(now))
 			}
 			n.dropW1(k, victim)
 			note(k)
@@ -391,9 +414,9 @@ func (n *Negate) Advance(now int64) ([]tuple.Tuple, error) {
 	}
 	sort.Slice(order, func(i, j int) bool { return order[i].String() < order[j].String() })
 	for _, k := range order {
-		out = append(out, n.repair(k, now)...)
+		n.repair(k, now, &out)
 	}
-	return out, nil
+	return out.ts, nil
 }
 
 // StateSize implements Operator.

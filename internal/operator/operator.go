@@ -74,6 +74,28 @@ func probe(buf statebuf.Buffer, keyCols []int, k tuple.Key, now int64, fn func(t
 	})
 }
 
+// probeAppend collects the live key matches into dst without a visitor
+// closure; hot operators keep a scratch slice so steady-state probing
+// allocates nothing. Buffers without ProbeAppend (the DIRECT baselines) fall
+// back to callback probing, whose closure capture is the allocation the fast
+// path avoids.
+func probeAppend(buf statebuf.Buffer, keyCols []int, k tuple.Key, now int64, dst []tuple.Tuple) []tuple.Tuple {
+	if pa, ok := buf.(statebuf.ProbeAppender); ok {
+		return pa.ProbeAppend(k, now, dst)
+	}
+	return probeAppendSlow(buf, keyCols, k, now, dst)
+}
+
+// probeAppendSlow is kept out of probeAppend so the closure's by-reference
+// capture of dst (a heap cell) is only paid when the fallback actually runs.
+func probeAppendSlow(buf statebuf.Buffer, keyCols []int, k tuple.Key, now int64, dst []tuple.Tuple) []tuple.Tuple {
+	probe(buf, keyCols, k, now, func(t tuple.Tuple) bool {
+		dst = append(dst, t)
+		return true
+	})
+	return dst
+}
+
 // badSide builds the error for an out-of-range input side.
 func badSide(op string, side int) error {
 	return fmt.Errorf("%s: no input side %d", op, side)

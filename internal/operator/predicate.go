@@ -86,8 +86,29 @@ type ColConst struct {
 	Sel float64
 }
 
-// Eval implements Predicate.
-func (p ColConst) Eval(t tuple.Tuple) bool { return p.Op.eval(t.Vals[p.Col].Compare(p.Val)) }
+// Eval implements Predicate. Equality against a same-kind int or string
+// constant — the overwhelmingly common selection shape — compares directly
+// instead of going through the three-way Compare, which orders across kinds
+// and canonicalizes floats. Floats keep the Compare path so NaN keeps its
+// ordered-comparison semantics.
+func (p ColConst) Eval(t tuple.Tuple) bool {
+	v := t.Vals[p.Col]
+	if (p.Op == EQ || p.Op == NE) && v.Kind == p.Val.Kind {
+		var eq bool
+		switch v.Kind {
+		case tuple.KindInt:
+			eq = v.I == p.Val.I
+		case tuple.KindString:
+			eq = v.S == p.Val.S
+		case tuple.KindNull:
+			eq = true
+		default:
+			return p.Op.eval(v.Compare(p.Val))
+		}
+		return eq == (p.Op == EQ)
+	}
+	return p.Op.eval(v.Compare(p.Val))
+}
 
 // Selectivity implements Predicate.
 func (p ColConst) Selectivity() float64 {

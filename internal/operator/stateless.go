@@ -40,6 +40,20 @@ func (s *Select) Process(side int, t tuple.Tuple, now int64) ([]tuple.Tuple, err
 	return nil, nil
 }
 
+// ProcessBatch implements BatchProcessor: one predicate evaluation per tuple,
+// no per-call output allocation.
+func (s *Select) ProcessBatch(side int, in []tuple.Tuple, now int64, out *Emit) error {
+	if side != 0 {
+		return badSide("select", side)
+	}
+	for _, t := range in {
+		if s.pred.Eval(t) {
+			out.Append(t)
+		}
+	}
+	return nil
+}
+
 // Advance implements Operator (stateless: nothing expires).
 func (s *Select) Advance(int64) ([]tuple.Tuple, error) { return nil, nil }
 
@@ -89,6 +103,27 @@ func (p *Project) Process(side int, t tuple.Tuple, now int64) ([]tuple.Tuple, er
 	return []tuple.Tuple{out}, nil
 }
 
+// ProcessBatch implements BatchProcessor: all projected value slices of a run
+// share one backing array, so the per-tuple allocation of Process is paid
+// once per batch.
+func (p *Project) ProcessBatch(side int, in []tuple.Tuple, now int64, out *Emit) error {
+	if side != 0 {
+		return badSide("project", side)
+	}
+	backing := make([]tuple.Value, len(in)*len(p.cols))
+	for _, t := range in {
+		vals := backing[:len(p.cols):len(p.cols)]
+		backing = backing[len(p.cols):]
+		for i, c := range p.cols {
+			vals[i] = t.Vals[c]
+		}
+		o := t
+		o.Vals = vals
+		out.Append(o)
+	}
+	return nil
+}
+
 // Advance implements Operator.
 func (p *Project) Advance(int64) ([]tuple.Tuple, error) { return nil, nil }
 
@@ -133,6 +168,23 @@ func (u *Union) Process(side int, t tuple.Tuple, now int64) ([]tuple.Tuple, erro
 		u.lastTS = t.TS
 	}
 	return []tuple.Tuple{t}, nil
+}
+
+// ProcessBatch implements BatchProcessor.
+func (u *Union) ProcessBatch(side int, in []tuple.Tuple, now int64, out *Emit) error {
+	if side != 0 && side != 1 {
+		return badSide("union", side)
+	}
+	for _, t := range in {
+		if !t.Neg {
+			if t.TS < u.lastTS {
+				return fmt.Errorf("union: non-blocking merge requires timestamp order (got %d after %d)", t.TS, u.lastTS)
+			}
+			u.lastTS = t.TS
+		}
+		out.Append(t)
+	}
+	return nil
 }
 
 // Advance implements Operator.

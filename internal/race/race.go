@@ -1,0 +1,11 @@
+//go:build race
+
+// Package race reports whether the race detector is compiled in, so
+// allocation-guard tests (testing.AllocsPerRun budgets) can skip themselves
+// under `go test -race`: the detector's shadow bookkeeping allocates on paths
+// that are allocation-free in a normal build, making the budgets meaningless
+// there. CI runs the guards in a separate non-race step.
+package race
+
+// Enabled is true when the binary was built with -race.
+const Enabled = true

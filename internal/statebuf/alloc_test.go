@@ -1,0 +1,49 @@
+package statebuf
+
+// Allocation-regression gate for calendar maintenance: once the partition
+// slices and the expiry scratch buffer have warmed to working-set capacity,
+// the steady-state insert/expire cycle must not allocate — ExpireUpTo reuses
+// b.scratch, partitions keep capacity across drains. This is what makes lazy
+// re-evaluation cadences cheap; a failure means a change re-introduced
+// per-tick allocations in buffer maintenance.
+//
+// Skipped under -race (detector bookkeeping allocates); CI runs a non-race
+// step for the gates.
+
+import (
+	"testing"
+
+	"repro/internal/race"
+	"repro/internal/tuple"
+)
+
+func TestPartitionedExpireSteadyStateAllocFree(t *testing.T) {
+	if race.Enabled {
+		t.Skip("allocation budgets are meaningless under -race")
+	}
+	const horizon = 40
+	for _, byExp := range []bool{true, false} {
+		name := "unsorted"
+		if byExp {
+			name = "sorted-by-exp"
+		}
+		t.Run(name, func(t *testing.T) {
+			b := NewPartitioned(8, horizon, byExp)
+			vals := []tuple.Value{tuple.Int(7)}
+			now := int64(0)
+			tick := func() {
+				now++
+				b.Insert(tuple.Tuple{TS: now, Exp: now + horizon, Vals: vals})
+				b.ExpireUpTo(now)
+			}
+			// Warm past one full horizon so every partition slice and the
+			// scratch buffer have reached steady-state capacity.
+			for i := 0; i < 3*horizon; i++ {
+				tick()
+			}
+			if got := testing.AllocsPerRun(200, tick); got > 0 {
+				t.Errorf("steady-state insert+expire: %.1f allocs/tick, want 0", got)
+			}
+		})
+	}
+}

@@ -71,14 +71,47 @@ type Prober interface {
 	Probe(k tuple.Key, fn func(t tuple.Tuple) bool)
 }
 
-// sortExpired orders expired tuples deterministically by (Exp, TS, value
-// rendering) so replacement emissions are reproducible across buffer kinds.
+// ProbeAppender is the allocation-free companion of Prober: live tuples
+// (Exp > now) stored under k are appended to dst and the extended slice is
+// returned, so a caller can reuse one scratch slice across probes. Callback
+// probing forces the visitor closure — and everything it captures — onto the
+// heap on every call, which dominated steady-state ingest allocation
+// profiles.
+type ProbeAppender interface {
+	ProbeAppend(k tuple.Key, now int64, dst []tuple.Tuple) []tuple.Tuple
+}
+
+// KeyedInserter is implemented by buffers that can reuse a caller-computed
+// composite key on insert instead of re-deriving it from the tuple. The key
+// must be the tuple's key over the buffer's KeyCols; callers check the column
+// match once at construction time (joins compute the key once per tuple for
+// both the insert and the probe of the opposite side).
+type KeyedInserter interface {
+	KeyCols() []int
+	InsertKeyed(k tuple.Key, t tuple.Tuple)
+}
+
+// sortExpired orders expired tuples deterministically by (Exp, TS) so
+// replacement emissions are reproducible across buffer kinds. Expiry passes
+// are almost always tiny, so small slices take an allocation-free stable
+// insertion sort — sort.SliceStable's reflection swapper allocates on every
+// call, which the steady-state allocation gates forbid.
 func sortExpired(ts []tuple.Tuple) []tuple.Tuple {
-	sort.SliceStable(ts, func(i, j int) bool {
-		if ts[i].Exp != ts[j].Exp {
-			return ts[i].Exp < ts[j].Exp
+	if len(ts) <= 32 {
+		for i := 1; i < len(ts); i++ {
+			for j := i; j > 0 && expiresBefore(ts[j], ts[j-1]); j-- {
+				ts[j], ts[j-1] = ts[j-1], ts[j]
+			}
 		}
-		return ts[i].TS < ts[j].TS
-	})
+		return ts
+	}
+	sort.SliceStable(ts, func(i, j int) bool { return expiresBefore(ts[i], ts[j]) })
 	return ts
+}
+
+func expiresBefore(a, b tuple.Tuple) bool {
+	if a.Exp != b.Exp {
+		return a.Exp < b.Exp
+	}
+	return a.TS < b.TS
 }

@@ -14,9 +14,15 @@ import (
 // Probing by key and removal driven by negative tuples are O(1) expected;
 // timestamp-driven expiration requires a full scan, which is why the NT
 // strategy never relies on it (windows retract tuples explicitly instead).
+//
+// Buckets are addressed by the composite key's 64-bit digest rather than the
+// composite itself: hashing and copying the fat tuple.Key struct on every map
+// operation dominated ingest profiles. Distinct keys may collide into one
+// bucket, so Probe verifies each visited tuple against the probe key;
+// Remove/removeExact already compare full values, which subsumes the key.
 type HashBuffer struct {
 	keyCols []int
-	buckets map[tuple.Key][]tuple.Tuple
+	buckets map[uint64][]tuple.Tuple
 	size    int
 	touched int64
 	// scratch backs ExpireUpTo's result slice across passes, so the
@@ -28,7 +34,7 @@ type HashBuffer struct {
 func NewHash(keyCols []int) *HashBuffer {
 	return &HashBuffer{
 		keyCols: append([]int(nil), keyCols...),
-		buckets: make(map[tuple.Key][]tuple.Tuple),
+		buckets: make(map[uint64][]tuple.Tuple),
 	}
 }
 
@@ -38,8 +44,17 @@ func (b *HashBuffer) KeyCols() []int { return b.keyCols }
 // Insert stores t under its key.
 func (b *HashBuffer) Insert(t tuple.Tuple) {
 	b.touched++
-	k := t.Key(b.keyCols)
-	b.buckets[k] = append(b.buckets[k], t)
+	h := t.Key(b.keyCols).Hash64()
+	b.buckets[h] = append(b.buckets[h], t)
+	b.size++
+}
+
+// InsertKeyed implements KeyedInserter: stores t under a caller-computed key,
+// which must equal t's key over this buffer's key columns.
+func (b *HashBuffer) InsertKeyed(k tuple.Key, t tuple.Tuple) {
+	b.touched++
+	h := k.Hash64()
+	b.buckets[h] = append(b.buckets[h], t)
 	b.size++
 }
 
@@ -77,7 +92,7 @@ func (b *HashBuffer) ExpireUpTo(now int64) []tuple.Tuple {
 // tuple's Exp, which disambiguates value twins), then the oldest match so
 // retraction order is deterministic.
 func (b *HashBuffer) Remove(t tuple.Tuple) bool {
-	k := t.Key(b.keyCols)
+	k := t.Key(b.keyCols).Hash64()
 	bucket, ok := b.buckets[k]
 	if !ok {
 		return false
@@ -99,29 +114,39 @@ func (b *HashBuffer) Remove(t tuple.Tuple) bool {
 	if best < 0 {
 		return false
 	}
-	bucket = append(bucket[:best], bucket[best+1:]...)
-	if len(bucket) == 0 {
+	b.buckets[k] = cutBucket(bucket, best)
+	if len(bucket) == 1 {
 		delete(b.buckets, k)
-	} else {
-		b.buckets[k] = bucket
 	}
 	b.size--
 	return true
 }
 
+// cutBucket removes index i from a bucket. Removal overwhelmingly targets the
+// oldest entry (expiration follows insertion order), so the head case slides
+// the slice forward in O(1) instead of memmoving the whole bucket — under
+// long windows buckets hold every live twin of a key, and the copying removal
+// dominated ingest profiles. The backing array is reclaimed when append
+// outgrows it, so the slide is amortized O(1) space too.
+func cutBucket(bucket []tuple.Tuple, i int) []tuple.Tuple {
+	if i == 0 {
+		bucket[0] = tuple.Tuple{}
+		return bucket[1:]
+	}
+	return append(bucket[:i], bucket[i+1:]...)
+}
+
 // removeExact deletes one tuple matching t's values AND expiration; it
 // reports false when no exact twin is stored (e.g. it was retracted earlier).
 func (b *HashBuffer) removeExact(t tuple.Tuple) bool {
-	k := t.Key(b.keyCols)
+	k := t.Key(b.keyCols).Hash64()
 	bucket := b.buckets[k]
 	for i := range bucket {
 		b.touched++
 		if bucket[i].Exp == t.Exp && bucket[i].SameVals(t) {
-			bucket = append(bucket[:i], bucket[i+1:]...)
-			if len(bucket) == 0 {
+			b.buckets[k] = cutBucket(bucket, i)
+			if len(bucket) == 1 {
 				delete(b.buckets, k)
-			} else {
-				b.buckets[k] = bucket
 			}
 			b.size--
 			return true
@@ -130,14 +155,32 @@ func (b *HashBuffer) removeExact(t tuple.Tuple) bool {
 	return false
 }
 
-// Probe visits tuples stored under key k.
+// Probe visits tuples stored under key k. Digest collisions put foreign keys
+// in the same bucket, so each visited tuple is verified against k before fn
+// sees it.
 func (b *HashBuffer) Probe(k tuple.Key, fn func(t tuple.Tuple) bool) {
-	for _, t := range b.buckets[k] {
+	for _, t := range b.buckets[k.Hash64()] {
 		b.touched++
+		if !t.KeyMatches(b.keyCols, k) {
+			continue
+		}
 		if !fn(t) {
 			return
 		}
 	}
+}
+
+// ProbeAppend implements ProbeAppender: live (Exp > now) tuples stored under
+// k are appended to dst in bucket order — the same order Probe visits them.
+func (b *HashBuffer) ProbeAppend(k tuple.Key, now int64, dst []tuple.Tuple) []tuple.Tuple {
+	for _, t := range b.buckets[k.Hash64()] {
+		b.touched++
+		if now >= t.Exp || !t.KeyMatches(b.keyCols, k) {
+			continue
+		}
+		dst = append(dst, t)
+	}
+	return dst
 }
 
 // Scan visits every stored tuple (bucket order is unspecified).
@@ -179,7 +222,7 @@ func (b *HashBuffer) SaveState(enc *checkpoint.Encoder) error {
 // counter overwrites the inserts' increments.
 func (b *HashBuffer) LoadState(dec *checkpoint.Decoder) error {
 	touched := dec.Varint()
-	b.buckets = make(map[tuple.Key][]tuple.Tuple)
+	b.buckets = make(map[uint64][]tuple.Tuple)
 	b.size = 0
 	n := dec.Count()
 	for i := 0; i < n && dec.Err() == nil; i++ {

@@ -44,6 +44,20 @@ func (b *IndexedFIFO) Insert(t tuple.Tuple) {
 	b.queue = append(b.queue, t)
 }
 
+// KeyCols returns the index's key column positions.
+func (b *IndexedFIFO) KeyCols() []int { return b.hash.KeyCols() }
+
+// InsertKeyed implements KeyedInserter (see HashBuffer.InsertKeyed).
+func (b *IndexedFIFO) InsertKeyed(k tuple.Key, t tuple.Tuple) {
+	if t.Exp < b.lastExp {
+		b.unsorted = true
+	} else {
+		b.lastExp = t.Exp
+	}
+	b.hash.InsertKeyed(k, t)
+	b.queue = append(b.queue, t)
+}
+
 // ExpireUpTo pops due tuples from the queue head, removing each from the
 // index; stale queue entries (already retracted) are skipped. If the FIFO
 // invariant was ever violated it scans the index instead. The returned slice
@@ -93,6 +107,11 @@ func (b *IndexedFIFO) Remove(t tuple.Tuple) bool { return b.hash.Remove(t) }
 
 // Probe visits stored tuples under key k.
 func (b *IndexedFIFO) Probe(k tuple.Key, fn func(t tuple.Tuple) bool) { b.hash.Probe(k, fn) }
+
+// ProbeAppend implements ProbeAppender (see HashBuffer.ProbeAppend).
+func (b *IndexedFIFO) ProbeAppend(k tuple.Key, now int64, dst []tuple.Tuple) []tuple.Tuple {
+	return b.hash.ProbeAppend(k, now, dst)
+}
 
 // Scan visits every stored tuple.
 func (b *IndexedFIFO) Scan(fn func(t tuple.Tuple) bool) { b.hash.Scan(fn) }

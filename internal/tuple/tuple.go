@@ -147,6 +147,24 @@ func (k Key) String() string {
 	return "[" + strings.Join(parts, ",") + "]"
 }
 
+// KeyMatches reports whether t's key over cols equals k, without building
+// (and copying) a second composite Key — the per-visit verification hash
+// buffers need once their buckets are addressed by Key.Hash64 digests.
+func (t Tuple) KeyMatches(cols []int, k Key) bool {
+	if len(cols) != k.n {
+		return false
+	}
+	if k.n > 3 {
+		return t.Key(cols) == k
+	}
+	for i, c := range cols {
+		if canonical(t.Vals[c]) != k.v[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // Hash64 hashes the key consistently with Value.Hash64.
 func (k Key) Hash64() uint64 {
 	const prime = 1099511628211
