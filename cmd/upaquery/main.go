@@ -12,6 +12,8 @@
 //	upaquery -query q3 -strategy upa -analyze
 //	upaquery -cql "SELECT DISTINCT src FROM S0 [RANGE 2000]" -links 1
 //	upaquery -query q3 -strategy nt -metrics-addr :9090 -trace-out events.jsonl
+//	upaquery -query q1-ftp -strategy upa -latency
+//	upaquery -query q1-ftp -trace-out spans.jsonl -trace-sample 1000
 //	upaquery -query q1-ftp -checkpoint-dir ./state -checkpoint-every 100000
 //	upaquery -list
 //
@@ -24,6 +26,12 @@
 // /debug/plan?analyze=1) while it is in progress; with -trace-out every
 // typed engine event (arrivals, emissions, retractions, window expirations,
 // maintenance passes) is written as JSON Lines.
+//
+// -latency records every output delta's ingest→emit latency and prints a
+// percentile table plus the update-pattern conformance verdict (declared vs
+// observed class per operator) at exit. -trace-sample N additionally traces
+// one in N arrivals through the plan as per-operator EvDeltaSpan events on
+// the -trace-out sink; keep N large on hot streams.
 //
 // With -checkpoint-dir the run writes a versioned binary checkpoint
 // (atomically, via temp file + rename) every -checkpoint-every tuples and
@@ -81,6 +89,8 @@ func main() {
 	progressEvery := flag.Duration("progress", time.Second, "progress-line interval (0 disables)")
 	explain := flag.Bool("explain", false, "print the annotated physical plan (EXPLAIN) and exit")
 	analyze := flag.Bool("analyze", false, "after the run, print the plan with live per-operator counters (EXPLAIN ANALYZE)")
+	latency := flag.Bool("latency", false, "record ingest-to-emit delta latency and print percentiles plus the conformance verdict at exit")
+	traceSample := flag.Int("trace-sample", 0, "trace one in N arrivals as per-operator spans (EvDeltaSpan events on -trace-out; 0 disables)")
 	checkpointDir := flag.String("checkpoint-dir", "", "checkpoint into this directory and resume from an existing checkpoint on start")
 	checkpointEvery := flag.Int("checkpoint-every", 0, "also checkpoint every N processed tuples (0: only a final checkpoint)")
 	maxTuples := flag.Int("max-tuples", 0, "stop after this many trace records (0: the whole trace)")
@@ -102,7 +112,7 @@ func main() {
 	}
 	if err := run(*query, *cqlText, *links, *strategy, *windowSize, *duration, *traceFile,
 		*partitions, *shards, *metricsAddr, *traceOut, *progressEvery, *explain, *analyze,
-		*checkpointDir, *checkpointEvery, *maxTuples, *dumpView); err != nil {
+		*latency, *traceSample, *checkpointDir, *checkpointEvery, *maxTuples, *dumpView); err != nil {
 		fmt.Fprintln(os.Stderr, "upaquery:", err)
 		os.Exit(1)
 	}
@@ -110,7 +120,7 @@ func main() {
 
 func run(queryName, cqlText string, cqlLinks int, strategyName string, windowSize, duration int64,
 	traceFile string, partitions, shards int, metricsAddr, traceOut string, progressEvery time.Duration,
-	explain, analyze bool, checkpointDir string, checkpointEvery, maxTuples int, dumpView string) error {
+	explain, analyze, latency bool, traceSample int, checkpointDir string, checkpointEvery, maxTuples int, dumpView string) error {
 	var q bench.Query
 	var root *plan.Node
 	nLinks := 0
@@ -172,10 +182,13 @@ func run(queryName, cqlText string, cqlLinks int, strategyName string, windowSiz
 	cfg := exec.Config{EagerInterval: 1, LazyInterval: lazy}
 
 	var reg *obs.Registry
-	if metricsAddr != "" {
+	if metricsAddr != "" || latency {
+		// -latency needs the registry too: delta-latency histograms (like all
+		// wall-clock instruments) record only when Config.Metrics is set.
 		reg = obs.NewRegistry()
 		cfg.Metrics = reg
 	}
+	cfg.TraceSampleEvery = traceSample
 	var tracer *obs.Tracer
 	if traceOut != "" {
 		f, err := os.Create(traceOut)
@@ -214,7 +227,13 @@ func run(queryName, cqlText string, cqlLinks int, strategyName string, windowSiz
 		}
 		return seq.Explain(an)
 	}
-	if reg != nil {
+	profiles := func() []exec.OpProfile {
+		if sh != nil {
+			return sh.Profile()
+		}
+		return seq.Profile()
+	}
+	if metricsAddr != "" {
 		// The plan page reads only atomic instruments, so serving it while
 		// the run is in flight is safe.
 		planPage := obs.Page{
@@ -231,12 +250,20 @@ func run(queryName, cqlText string, cqlLinks int, strategyName string, windowSiz
 				_ = t.WriteText(w)
 			},
 		}
-		srv, err := obs.Serve(metricsAddr, reg, planPage)
+		confPage := obs.Page{
+			Path:  "/debug/conformance",
+			Title: "update-pattern conformance: declared vs observed per operator",
+			Handler: func(w http.ResponseWriter, r *http.Request) {
+				w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+				_ = exec.WriteConformance(w, profiles())
+			},
+		}
+		srv, err := obs.Serve(metricsAddr, reg, planPage, confPage)
 		if err != nil {
 			return fmt.Errorf("metrics endpoint: %w", err)
 		}
 		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "serving metrics on http://%s/metrics (plan at /debug/plan, pprof at /debug/pprof/)\n", srv.Addr())
+		fmt.Fprintf(os.Stderr, "serving metrics on http://%s/metrics (plan at /debug/plan, conformance at /debug/conformance, pprof at /debug/pprof/)\n", srv.Addr())
 	}
 
 	engStats := func() exec.Stats {
@@ -439,6 +466,23 @@ func run(queryName, cqlText string, cqlLinks int, strategyName string, windowSiz
 	if analyze {
 		fmt.Println()
 		if err := explainTree(true).WriteText(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if latency {
+		var pos, neg obs.LogHistogramSnapshot
+		if sh != nil {
+			pos, neg = sh.DeltaLatency()
+		} else {
+			pos, neg = seq.DeltaLatency()
+		}
+		fmt.Println()
+		fmt.Println("delta latency (ingest to view-fold, nanoseconds):")
+		fmt.Printf("  %-10s %12s %12s %12s %12s %12s\n", "polarity", "count", "p50", "p95", "p99", "max")
+		fmt.Printf("  %-10s %12d %12d %12d %12d %12d\n", "insertion", pos.Count, pos.P50, pos.P95, pos.P99, pos.Max)
+		fmt.Printf("  %-10s %12d %12d %12d %12d %12d\n", "retraction", neg.Count, neg.P50, neg.P95, neg.P99, neg.Max)
+		fmt.Println()
+		if err := exec.WriteConformance(os.Stdout, profiles()); err != nil {
 			return err
 		}
 	}

@@ -132,7 +132,8 @@ func metricsTable(id, title string, window int64, variants []Variant, results []
 		ID:      id + "-metrics",
 		Title:   fmt.Sprintf("%s — engine metric snapshot (window %d)", title, window),
 		Columns: append([]string{"metric"}, variantNames(variants)...),
-		Notes:   "Counters from the engine's metrics registry at end of run (upaquery -metrics-addr exposes the same series live).",
+		Notes: "Counters from the engine's metrics registry at end of run (upaquery -metrics-addr exposes the same series live). " +
+			"Delta-latency rows need a timed engine and read 0 on bare runs; run with -metrics-addr to instrument every run.",
 	}
 	rows := []struct{ label, name string }{
 		{"arrivals", exec.MetricArrivals},
@@ -155,6 +156,26 @@ func metricsTable(id, title string, window int64, variants []Variant, results []
 		peak = append(peak, fmt.Sprint(res.Metrics.Gauges[exec.MetricStateTuplesPeak]))
 	}
 	tab.Rows = append(tab.Rows, peak)
+	// Delta-latency percentiles and the conformance verdict ride along so a
+	// result file records responsiveness next to throughput.
+	latRows := []struct {
+		label string
+		get   func(Result) int64
+	}{
+		{"delta latency p50 ns (pos)", func(r Result) int64 { return r.LatencyPos.P50 }},
+		{"delta latency p95 ns (pos)", func(r Result) int64 { return r.LatencyPos.P95 }},
+		{"delta latency p99 ns (pos)", func(r Result) int64 { return r.LatencyPos.P99 }},
+		{"delta latency max ns (pos)", func(r Result) int64 { return r.LatencyPos.Max }},
+		{"delta latency p99 ns (neg)", func(r Result) int64 { return r.LatencyNeg.P99 }},
+		{"pattern violations", func(r Result) int64 { return r.Violations }},
+	}
+	for _, lr := range latRows {
+		row := []string{lr.label}
+		for _, res := range results {
+			row = append(row, fmt.Sprint(lr.get(res)))
+		}
+		tab.Rows = append(tab.Rows, row)
+	}
 	return tab
 }
 

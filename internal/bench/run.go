@@ -128,6 +128,15 @@ type Result struct {
 	// summed across shards for a sharded run — the EXPLAIN ANALYZE view of
 	// the same execution, embedded in experiment report tables.
 	Ops []exec.OpProfile
+	// LatencyPos/LatencyNeg are the run's ingest→emit delta-latency
+	// distributions (emitted insertions / retractions), recorded only when
+	// the run has a metrics registry (rc.Metrics or EnableLiveMetrics);
+	// zero-valued otherwise.
+	LatencyPos, LatencyNeg obs.LogHistogramSnapshot
+	// Violations is the conformance monitor's total count of retractions
+	// that exceeded their operator's declared update-pattern class; zero on
+	// a conformant run.
+	Violations int64
 }
 
 // AllocsPerOp returns heap allocations per input tuple (benchmark-style
@@ -211,6 +220,7 @@ func Run(q Query, rc RunConfig) (Result, error) {
 	runtime.ReadMemStats(&m1)
 
 	st := eng.Stats()
+	latPos, latNeg := eng.DeltaLatency()
 	return Result{
 		Query:           q,
 		Strategy:        rc.Strategy,
@@ -229,6 +239,9 @@ func Run(q Query, rc RunConfig) (Result, error) {
 		Metrics:         eng.Metrics().Snapshot(),
 		Ops:             eng.Profile(),
 		Shards:          1,
+		LatencyPos:      latPos,
+		LatencyNeg:      latNeg,
+		Violations:      eng.Violations(),
 	}, nil
 }
 
@@ -281,6 +294,7 @@ func runSharded(q Query, rc RunConfig, phys *plan.Physical, cfg exec.Config, gen
 		return Result{}, fmt.Errorf("bench %v: %w", q, err)
 	}
 	st := sh.Stats()
+	latPos, latNeg := sh.DeltaLatency()
 	return Result{
 		Query:           q,
 		Strategy:        rc.Strategy,
@@ -300,5 +314,8 @@ func runSharded(q Query, rc RunConfig, phys *plan.Physical, cfg exec.Config, gen
 		Ops:             sh.Profile(),
 		Shards:          sh.Shards(),
 		ShardFallback:   sh.FallbackReason(),
+		LatencyPos:      latPos,
+		LatencyNeg:      latNeg,
+		Violations:      sh.Violations(),
 	}, nil
 }

@@ -68,3 +68,48 @@ func TestBatchIngestAllocBudget(t *testing.T) {
 		t.Errorf("steady-state PushBatch: %.1f allocs per 64-arrival batch, budget %.1f", got, ingestAllocBudget)
 	}
 }
+
+// TestBatchIngestAllocBudgetInstrumented holds the instrumented engine
+// (metrics registry attached: wall-clock timing, delta-latency histograms,
+// conformance monitor all live; span sampling off) to the same steady-state
+// budget as the bare engine. The PR 6 instruments are atomic adds into
+// preallocated cells, so turning them on must not add a single allocation
+// per tuple.
+func TestBatchIngestAllocBudgetInstrumented(t *testing.T) {
+	if race.Enabled {
+		t.Skip("allocation budgets are meaningless under -race")
+	}
+	q := ckptQueries()[0] // Q1-join-of-selects
+	eng := buildInstrumented(t, q, plan.UPA, 1).(*Engine)
+
+	r := rand.New(rand.NewSource(17))
+	batch := make([]Arrival, 0, 64)
+	for tick := 0; tick < 8; tick++ {
+		for s := 0; s < 2; s++ {
+			for b := 0; b < 4; b++ {
+				batch = append(batch, Arrival{Stream: s, TS: int64(tick), Vals: rndTuple(r)})
+			}
+		}
+	}
+	base := int64(0)
+	runOnce := func() {
+		for i := range batch {
+			batch[i].TS = base + int64(i/8)
+		}
+		if err := eng.PushBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+		base += 8
+	}
+	for i := 0; i < 64; i++ {
+		runOnce()
+	}
+	got := testing.AllocsPerRun(100, runOnce)
+	t.Logf("steady-state instrumented PushBatch: %.1f allocs per 64-arrival batch (%.2f/tuple)", got, got/64)
+	if got > ingestAllocBudget {
+		t.Errorf("steady-state instrumented PushBatch: %.1f allocs per 64-arrival batch, budget %.1f", got, ingestAllocBudget)
+	}
+	if pos, _ := eng.DeltaLatency(); pos.Count == 0 {
+		t.Error("instrumented run recorded no delta latency")
+	}
+}

@@ -50,6 +50,9 @@ func attachStats(t *plan.ExplainTree, profs []OpProfile, shards int, clock, wate
 			ProcNanos:      p.ProcNanos,
 			MaxBatchNanos:  p.MaxBatchNanos,
 			LastBatchNanos: p.LastBatchNanos,
+			Observed:       p.Observed,
+			Mismatch:       p.Observed > n.Pattern,
+			Violations:     p.Violations(),
 		}
 	})
 }

@@ -1,10 +1,13 @@
 package exec
 
 import (
+	"math"
 	"strconv"
 
+	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/plan"
+	"repro/internal/tuple"
 )
 
 // Engine metric names. Counters carry the paper's cost measures
@@ -61,6 +64,23 @@ const (
 	// MetricRestoreNanos is the restore latency histogram, recorded only when
 	// Config.Metrics is set.
 	MetricRestoreNanos = "upa_checkpoint_restore_nanos"
+	// MetricDeltaLatency is the ingest→emit delta-latency distribution: for
+	// every tuple the query emits (insertion or retraction), the monotonic
+	// time from when the causing event entered the system (arrival admission,
+	// or — sharded — when it was first buffered for its shard) until the
+	// delta was folded into the result view. A log-bucketed histogram
+	// (summary exposition: p50/p95/p99/max), labeled {polarity} plus any
+	// Config.MetricLabels (shard, query). Recorded only when Config.Metrics
+	// is set.
+	MetricDeltaLatency = "upa_delta_latency_nanos"
+)
+
+// Label values of MetricDeltaLatency's {polarity} dimension.
+const (
+	// PolarityPos marks insertions (positive output-stream tuples).
+	PolarityPos = "pos"
+	// PolarityNeg marks retractions (negative output-stream tuples).
+	PolarityNeg = "neg"
 )
 
 // Per-operator metric names. Every series is labeled {op, id} (plus any
@@ -89,7 +109,42 @@ const (
 	// MetricOpBatchMax / MetricOpBatchLast bound one Process call's latency.
 	MetricOpBatchMax  = "upa_op_batch_nanos_max"
 	MetricOpBatchLast = "upa_op_batch_nanos_last"
+	// MetricOpObservedPattern is the pattern class the operator's output
+	// stream has actually exhibited so far, as an integer in the paper's
+	// lattice order (0=MONO, 1=WKS, 2=WK, 3=STR). Comparing it with the
+	// declared class (plan annotation) exposes mispredictions: an edge
+	// declared STR that never left WKS wasted negative-tuple machinery, and
+	// an edge exceeding its declaration is a conformance bug.
+	MetricOpObservedPattern = "upa_op_observed_pattern"
+	// MetricPatternViolations counts retractions that exceeded the
+	// operator's declared pattern class, labeled {op, id, kind}. Kinds:
+	// "expiration" (any retraction on a chronicle/MONO edge), "out_of_order"
+	// (boundary expirations out of insertion order on a FIFO/WKS edge), and
+	// "premature" (retraction of a tuple before its declared expiration time
+	// on a WKS/WK edge).
+	MetricPatternViolations = "upa_pattern_violations_total"
 )
+
+// Violation kind label values of MetricPatternViolations, in counter index
+// order.
+const (
+	ViolationExpiration = "expiration"
+	ViolationOutOfOrder = "out_of_order"
+	ViolationPremature  = "premature"
+)
+
+// violation counter indexes, matching the kind order above.
+const (
+	violExpiration = iota
+	violOutOfOrder
+	violPremature
+	numViolationKinds
+)
+
+// violationKinds lists the kind label values by counter index.
+var violationKinds = [numViolationKinds]string{
+	ViolationExpiration, ViolationOutOfOrder, ViolationPremature,
+}
 
 // engineMetrics bundles the engine's registered instruments. The registry
 // is the single source of truth: Stats() and Profile() read these same
@@ -103,10 +158,23 @@ type engineMetrics struct {
 	checkpointBytes                                    *obs.Gauge
 	pushNanos, refreshNanos                            *obs.Histogram
 	checkpointNanos, restoreNanos                      *obs.Histogram
+	latPos, latNeg                                     *obs.LogHistogram
+}
+
+// withLabel copies base and adds one extra label pair.
+func withLabel(base obs.Labels, k, v string) obs.Labels {
+	out := obs.Labels{k: v}
+	for bk, bv := range base {
+		out[bk] = bv
+	}
+	return out
 }
 
 func newEngineMetrics(reg *obs.Registry, base obs.Labels) engineMetrics {
+	const latHelp = "ingest-to-emit delta latency in nanoseconds (log-bucketed)"
 	return engineMetrics{
+		latPos:          reg.LogHistogram(MetricDeltaLatency, latHelp, withLabel(base, "polarity", PolarityPos)),
+		latNeg:          reg.LogHistogram(MetricDeltaLatency, latHelp, withLabel(base, "polarity", PolarityNeg)),
 		arrivals:        reg.Counter(MetricArrivals, "base-stream tuples pushed", base),
 		emitted:         reg.Counter(MetricEmitted, "positive output-stream tuples", base),
 		retracted:       reg.Counter(MetricRetracted, "negative output-stream tuples", base),
@@ -136,12 +204,98 @@ func newEngineMetrics(reg *obs.Registry, base obs.Labels) engineMetrics {
 // always maintained; the wall-clock fields are written only when the engine
 // is timed.
 type opStats struct {
-	inPos, inNeg       *obs.Counter
-	pos, neg           *obs.Counter
-	expired, procNanos *obs.Counter
-	state              *obs.Gauge
-	touched            *obs.Gauge
+	inPos, inNeg        *obs.Counter
+	pos, neg            *obs.Counter
+	expired, procNanos  *obs.Counter
+	state               *obs.Gauge
+	touched             *obs.Gauge
 	maxBatch, lastBatch *obs.Gauge
+	// name is the pre-rendered "class#id" span label, so emitting a sampled
+	// EvDeltaSpan allocates nothing beyond the event itself.
+	name string
+	// conf is the operator's pattern-conformance cell, maintained on the
+	// output edge by propagate/propagateBatch.
+	conf conformance
+}
+
+// conformance watches one operator's output stream and checks every
+// retraction against the operator's declared update-pattern class
+// (Section 3.1's lattice): any retraction violates a chronicle (MONO) edge,
+// boundary expirations out of insertion order violate FIFO (WKS), and
+// premature (pre-expiration) retractions violate exp-timestamp (WK) edges.
+// It also tracks the class the stream has actually exhibited — the observed
+// class — which can sit BELOW the declaration (e.g. an edge declared STR
+// whose retractions were all orderly boundary expirations), exposing
+// overcautious NT-vs-DIRECT choices.
+//
+// The mutable fields (observed, maxBoundaryExp) are written only by the
+// engine goroutine; concurrent readers (/debug pages, Profile) see the
+// observed class through the gauge.
+type conformance struct {
+	// declared is the plan's pattern annotation for the output edge.
+	declared core.Pattern
+	// observed is the strongest class the output stream has exhibited.
+	observed core.Pattern
+	// maxBoundaryExp is the largest expiration timestamp seen among boundary
+	// retractions, for the FIFO order check.
+	maxBoundaryExp int64
+	// replacement marks operators with replacement semantics (group-by):
+	// their never-expiring aggregate rows are retracted when superseded or
+	// when a group empties, which the paper's Rule 4 classifies as WK — not
+	// a premature expiration.
+	replacement bool
+	observedG   *obs.Gauge
+	viol        [numViolationKinds]*obs.Counter
+}
+
+// observeRetraction classifies one emitted negative tuple. now is the
+// engine's logical clock at emission time.
+func (st *opStats) observeRetraction(t tuple.Tuple, now int64) {
+	c := &st.conf
+	// exc is the pattern class this single retraction evidences.
+	var exc core.Pattern
+	switch {
+	case t.Exp == tuple.NeverExpires:
+		// Retraction of a row that was never due to expire: a replacement
+		// deletion for group-by (WK), an unpredictable deletion otherwise
+		// (count-based evictions, negation over unbounded rows) — STR.
+		if c.replacement {
+			exc = core.Weak
+		} else {
+			exc = core.Strict
+		}
+	case t.Exp > now:
+		exc = core.Strict // premature: retracted before its declared expiry
+	case t.Exp < c.maxBoundaryExp:
+		exc = core.Weak // boundary expiration, but out of FIFO order
+	default:
+		c.maxBoundaryExp = t.Exp
+		exc = core.Weakest // orderly boundary expiration
+	}
+	if exc > c.observed {
+		c.observed = exc
+		c.observedG.Set(int64(exc))
+	}
+	if exc <= c.declared {
+		return
+	}
+	switch {
+	case c.declared == core.Monotonic:
+		c.viol[violExpiration].Inc()
+	case exc == core.Strict:
+		c.viol[violPremature].Inc()
+	default:
+		c.viol[violOutOfOrder].Inc()
+	}
+}
+
+// violations sums the operator's conformance-violation counters.
+func (st *opStats) violations() (byKind [numViolationKinds]int64, total int64) {
+	for i, c := range st.conf.viol {
+		byKind[i] = c.Value()
+		total += byKind[i]
+	}
+	return byKind, total
 }
 
 // opCounters registers the per-operator series for every plan node, labeled
@@ -156,12 +310,14 @@ func opCounters(reg *obs.Registry, root *plan.PNode, base obs.Labels) map[*plan.
 		if n == nil {
 			return
 		}
-		labels := obs.Labels{"op": n.Class.String(), "id": strconv.Itoa(idx)}
+		id := strconv.Itoa(idx)
+		labels := obs.Labels{"op": n.Class.String(), "id": id}
 		for k, v := range base {
 			labels[k] = v
 		}
 		idx++
 		st := &opStats{
+			name:      n.Class.String() + "#" + id,
 			inPos:     reg.Counter(MetricOpInPos, "per-operator positive input tuples", labels),
 			inNeg:     reg.Counter(MetricOpInNeg, "per-operator negative input tuples", labels),
 			pos:       reg.Counter(MetricOpEmitted, "per-operator emitted tuples", labels),
@@ -172,6 +328,17 @@ func opCounters(reg *obs.Registry, root *plan.PNode, base obs.Labels) map[*plan.
 			touched:   reg.Gauge(MetricOpTouched, "per-operator tuple visits (sampled)", labels),
 			maxBatch:  reg.Gauge(MetricOpBatchMax, "per-operator max Process call latency", labels),
 			lastBatch: reg.Gauge(MetricOpBatchLast, "per-operator last Process call latency", labels),
+		}
+		st.conf = conformance{
+			declared:       n.Pattern,
+			maxBoundaryExp: math.MinInt64,
+			replacement:    n.Class == core.OpGroupBy,
+			observedG: reg.Gauge(MetricOpObservedPattern,
+				"per-operator observed update-pattern class (0=MONO 1=WKS 2=WK 3=STR)", labels),
+		}
+		for i, kind := range violationKinds {
+			st.conf.viol[i] = reg.Counter(MetricPatternViolations,
+				"retractions exceeding the operator's declared pattern class", withLabel(labels, "kind", kind))
 		}
 		out[n] = st
 		n.Scratch = st // hot-path cache: feed/propagate skip the map lookup

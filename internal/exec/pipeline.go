@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/tuple"
 )
@@ -38,6 +39,14 @@ type Pipeline struct {
 	err    error
 	errMu  sync.Mutex
 	closed bool
+
+	// timed enables origin stamping at Push/Advance; latPos/latNeg record
+	// ingest→emit delta latency at the view goroutine (see Instrument). Both
+	// are set before the first Push from the producer goroutine, so the
+	// channel sends that carry non-zero origins also publish the histograms
+	// to the view goroutine.
+	timed          bool
+	latPos, latNeg *obs.LogHistogram
 }
 
 type leafEdge struct {
@@ -59,6 +68,17 @@ type message struct {
 	side int
 	t    tuple.Tuple
 	wm   int64
+	// origin is the monotonic stamp (obs.Nanotime) of the producer call that
+	// caused this message, carried downstream so the view goroutine can record
+	// end-to-end delta latency; 0 when the pipeline is uninstrumented.
+	origin int64
+}
+
+// pend is one buffered input tuple with the origin it arrived under, so
+// operator outputs inherit the triggering arrival's latency origin.
+type pend struct {
+	t      tuple.Tuple
+	origin int64
 }
 
 // runner owns one operator.
@@ -68,7 +88,7 @@ type runner struct {
 	in     chan message
 	emit   func(message)
 	arity  int
-	queues [2][]tuple.Tuple
+	queues [2][]pend
 	wms    [2]int64
 	sent   int64 // last watermark forwarded
 }
@@ -105,6 +125,14 @@ func NewPipeline(phys *plan.Physical, chanBuf int) (*Pipeline, error) {
 			switch m.kind {
 			case msgTuple:
 				p.view.Apply(m.t)
+				if m.origin > 0 {
+					lat := obs.Nanotime() - m.origin
+					if m.t.Neg {
+						p.latNeg.Observe(lat)
+					} else {
+						p.latPos.Observe(lat)
+					}
+				}
 			case msgWatermark:
 				p.view.ExpireUpTo(m.wm)
 				p.viewMu.Lock()
@@ -175,6 +203,32 @@ func NewPipeline(phys *plan.Physical, chanBuf int) (*Pipeline, error) {
 	return p, nil
 }
 
+// Instrument registers the pipeline's delta-latency histograms (the
+// upa_delta_latency_nanos{polarity} series, shared with Engine) in reg and
+// enables origin stamping at Push/Advance, so the view goroutine records the
+// ingest→emit latency of every delta it folds in. Must be called from the
+// producer goroutine before the first Push; returns p (builder style).
+func (p *Pipeline) Instrument(reg *obs.Registry, labels obs.Labels) *Pipeline {
+	const latHelp = "ingest-to-emit delta latency in nanoseconds (log-bucketed)"
+	p.latPos = reg.LogHistogram(MetricDeltaLatency, latHelp, withLabel(labels, "polarity", PolarityPos))
+	p.latNeg = reg.LogHistogram(MetricDeltaLatency, latHelp, withLabel(labels, "polarity", PolarityNeg))
+	p.timed = true
+	return p
+}
+
+// DeltaLatency snapshots the ingest→emit latency distributions recorded so
+// far, split by delta polarity. Zero-valued snapshots when uninstrumented.
+// Call after Flush for a reading that covers every admitted arrival.
+func (p *Pipeline) DeltaLatency() (pos, neg obs.LogHistogramSnapshot) {
+	if p.latPos != nil {
+		pos = p.latPos.Snapshot()
+	}
+	if p.latNeg != nil {
+		neg = p.latNeg.Snapshot()
+	}
+	return pos, neg
+}
+
 func (p *Pipeline) fail(err error) {
 	p.errMu.Lock()
 	if p.err == nil {
@@ -223,6 +277,10 @@ func (p *Pipeline) push(streamID int, ts int64, vals []tuple.Value) error {
 		return fmt.Errorf("exec: timestamp %d regresses before %d", ts, p.clock)
 	}
 	p.clock = ts
+	var origin int64
+	if p.timed {
+		origin = obs.Nanotime()
+	}
 	found := false
 	for _, leaf := range p.leaves {
 		if leaf.src.StreamID != streamID {
@@ -233,9 +291,9 @@ func (p *Pipeline) push(streamID int, ts int64, vals []tuple.Value) error {
 		if err != nil {
 			return err
 		}
-		leaf.ch <- message{kind: msgTuple, side: leaf.side, t: stamped}
+		leaf.ch <- message{kind: msgTuple, side: leaf.side, t: stamped, origin: origin}
 		for _, ev := range evicted {
-			leaf.ch <- message{kind: msgTuple, side: leaf.side, t: ev.Negative(ts)}
+			leaf.ch <- message{kind: msgTuple, side: leaf.side, t: ev.Negative(ts), origin: origin}
 		}
 	}
 	if !found {
@@ -246,11 +304,11 @@ func (p *Pipeline) push(streamID int, ts int64, vals []tuple.Value) error {
 	if p.phys.Strategy == plan.NT {
 		for _, leaf := range p.leaves {
 			for _, t := range leaf.src.Window.ExpireUpTo(ts) {
-				leaf.ch <- message{kind: msgTuple, side: leaf.side, t: t.Negative(ts)}
+				leaf.ch <- message{kind: msgTuple, side: leaf.side, t: t.Negative(ts), origin: origin}
 			}
 		}
 	}
-	p.broadcastWatermark(ts)
+	p.broadcastWatermark(ts, origin)
 	return p.Err()
 }
 
@@ -260,18 +318,22 @@ func (p *Pipeline) Advance(ts int64) error {
 		return fmt.Errorf("exec: time %d regresses before %d", ts, p.clock)
 	}
 	p.clock = ts
+	var origin int64
+	if p.timed {
+		origin = obs.Nanotime()
+	}
 	if p.phys.Strategy == plan.NT {
 		for _, leaf := range p.leaves {
 			for _, t := range leaf.src.Window.ExpireUpTo(ts) {
-				leaf.ch <- message{kind: msgTuple, side: leaf.side, t: t.Negative(ts)}
+				leaf.ch <- message{kind: msgTuple, side: leaf.side, t: t.Negative(ts), origin: origin}
 			}
 		}
 	}
-	p.broadcastWatermark(ts)
+	p.broadcastWatermark(ts, origin)
 	return p.Err()
 }
 
-func (p *Pipeline) broadcastWatermark(ts int64) {
+func (p *Pipeline) broadcastWatermark(ts, origin int64) {
 	seen := map[chan message]map[int]bool{}
 	for _, leaf := range p.leaves {
 		sides := seen[leaf.ch]
@@ -283,7 +345,7 @@ func (p *Pipeline) broadcastWatermark(ts int64) {
 			continue // one watermark per (channel, side) per tick
 		}
 		sides[leaf.side] = true
-		leaf.ch <- message{kind: msgWatermark, side: leaf.side, wm: ts}
+		leaf.ch <- message{kind: msgWatermark, side: leaf.side, wm: ts, origin: origin}
 	}
 	// Operators with an input side fed by neither a child runner nor a
 	// leaf cannot exist (plans are fully wired), so nothing else to do.
@@ -295,7 +357,11 @@ func (p *Pipeline) Flush() error {
 	if p.clock < 0 {
 		return p.Err()
 	}
-	p.broadcastWatermark(p.clock)
+	var origin int64
+	if p.timed {
+		origin = obs.Nanotime()
+	}
+	p.broadcastWatermark(p.clock, origin)
 	target := p.clock
 	p.viewMu.Lock()
 	for p.viewWM < target && p.Err() == nil {
@@ -343,7 +409,7 @@ func (r *runner) loop() {
 			if side < 0 || side >= 2 {
 				side = 0
 			}
-			r.queues[side] = append(r.queues[side], m.t)
+			r.queues[side] = append(r.queues[side], pend{t: m.t, origin: m.origin})
 		case msgWatermark:
 			side := m.side
 			if side < 0 || side >= 2 {
@@ -358,9 +424,9 @@ func (r *runner) loop() {
 			low = r.wms[1]
 		}
 		if low > r.sent {
-			r.drain(low)
+			r.drain(low, m.origin)
 			r.sent = low
-			r.emit(message{kind: msgWatermark, wm: low})
+			r.emit(message{kind: msgWatermark, wm: low, origin: m.origin})
 		}
 	}
 	_ = isRoot
@@ -371,37 +437,40 @@ func (r *runner) loop() {
 
 // drain processes all buffered tuples with TS <= wm in timestamp order
 // (side 0 first on ties, matching the sequential engine's call order), then
-// advances the operator to wm.
-func (r *runner) drain(wm int64) {
+// advances the operator to wm. Outputs inherit their triggering input's
+// latency origin; Advance-driven outputs (expiration work owed to time
+// passing, not to any one tuple) carry wmOrigin, the stamp of the watermark
+// broadcast that triggered the drain.
+func (r *runner) drain(wm, wmOrigin int64) {
 	for s := 0; s < 2; s++ {
-		sort.SliceStable(r.queues[s], func(i, j int) bool { return r.queues[s][i].TS < r.queues[s][j].TS })
+		sort.SliceStable(r.queues[s], func(i, j int) bool { return r.queues[s][i].t.TS < r.queues[s][j].t.TS })
 	}
 	for {
 		side := -1
 		for s := 0; s < r.arity; s++ {
-			if len(r.queues[s]) == 0 || r.queues[s][0].TS > wm {
+			if len(r.queues[s]) == 0 || r.queues[s][0].t.TS > wm {
 				continue
 			}
-			if side < 0 || r.queues[s][0].TS < r.queues[side][0].TS {
+			if side < 0 || r.queues[s][0].t.TS < r.queues[side][0].t.TS {
 				side = s
 			}
 		}
 		if side < 0 {
 			break
 		}
-		t := r.queues[side][0]
+		pd := r.queues[side][0]
 		r.queues[side] = r.queues[side][1:]
-		now := t.TS
+		now := pd.t.TS
 		if now < r.sent {
 			now = r.sent
 		}
-		outs, err := r.node.Op.Process(side, t, now)
+		outs, err := r.node.Op.Process(side, pd.t, now)
 		if err != nil {
 			r.p.fail(err)
 			return
 		}
 		for _, o := range outs {
-			r.emit(message{kind: msgTuple, t: o})
+			r.emit(message{kind: msgTuple, t: o, origin: pd.origin})
 		}
 	}
 	outs, err := r.node.Op.Advance(wm)
@@ -410,6 +479,6 @@ func (r *runner) drain(wm int64) {
 		return
 	}
 	for _, o := range outs {
-		r.emit(message{kind: msgTuple, t: o})
+		r.emit(message{kind: msgTuple, t: o, origin: wmOrigin})
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"io"
 	"strings"
 
+	"repro/internal/core"
 	"repro/internal/plan"
 )
 
@@ -37,6 +38,19 @@ type OpProfile struct {
 	// LastBatchNanos bound one Process call. All three are zero unless the
 	// engine was built with Config.Metrics set.
 	ProcNanos, MaxBatchNanos, LastBatchNanos int64
+	// Observed is the strongest update-pattern class the operator's output
+	// stream has actually exhibited (the conformance monitor's verdict);
+	// compare with Pattern, the declared class.
+	Observed core.Pattern
+	// ViolExpiration, ViolOutOfOrder, and ViolPremature count retractions
+	// that exceeded the declared class, by violation kind (see the
+	// Violation* constants).
+	ViolExpiration, ViolOutOfOrder, ViolPremature int64
+}
+
+// Violations sums the profile's conformance-violation counts.
+func (p OpProfile) Violations() int64 {
+	return p.ViolExpiration + p.ViolOutOfOrder + p.ViolPremature
 }
 
 // Profile returns per-operator runtime counters in pre-order (root first) —
@@ -54,6 +68,7 @@ func (e *Engine) Profile() []OpProfile {
 			return
 		}
 		st := e.ops[n]
+		byKind, _ := st.violations()
 		out = append(out, OpProfile{
 			ID:             idx,
 			Class:          n.Class.String(),
@@ -69,6 +84,10 @@ func (e *Engine) Profile() []OpProfile {
 			ProcNanos:      st.procNanos.Value(),
 			MaxBatchNanos:  st.maxBatch.Value(),
 			LastBatchNanos: st.lastBatch.Value(),
+			Observed:       core.Pattern(st.conf.observedG.Value()),
+			ViolExpiration: byKind[violExpiration],
+			ViolOutOfOrder: byKind[violOutOfOrder],
+			ViolPremature:  byKind[violPremature],
 		})
 		idx++
 		for _, c := range n.Inputs {
@@ -84,20 +103,55 @@ func (e *Engine) WriteProfile(w io.Writer) error {
 	return writeProfiles(w, e.Profile())
 }
 
+// WriteConformance renders the conformance monitor's verdict as a table:
+// one row per operator with its declared and observed update-pattern
+// classes and violation counts by kind (shared by the /debug/conformance
+// page and upaquery's -latency report).
+func WriteConformance(w io.Writer, profs []OpProfile) error {
+	total := int64(0)
+	for _, p := range profs {
+		total += p.Violations()
+	}
+	verdict := "CONFORMANT"
+	if total > 0 {
+		verdict = fmt.Sprintf("%d VIOLATIONS", total)
+	}
+	if _, err := fmt.Fprintf(w, "pattern conformance: %s\n\n", verdict); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-4s %-28s %-9s %-9s %12s %12s %12s\n",
+		"id", "operator", "declared", "observed", "expiration", "out_of_order", "premature"); err != nil {
+		return err
+	}
+	for _, p := range profs {
+		name := strings.Repeat("  ", p.Depth) + p.Class
+		flag := ""
+		if p.Violations() > 0 {
+			flag = "  <-- exceeds declared"
+		}
+		if _, err := fmt.Fprintf(w, "%-4d %-28s %-9s %-9s %12d %12d %12d%s\n",
+			p.ID, name, p.Pattern, p.Observed.String(),
+			p.ViolExpiration, p.ViolOutOfOrder, p.ViolPremature, flag); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // writeProfiles renders a profile slice (shared by Engine and Sharded).
 func writeProfiles(w io.Writer, profs []OpProfile) error {
 	if len(profs) == 0 {
 		_, err := fmt.Fprintln(w, "(bare window plan: no operators)")
 		return err
 	}
-	if _, err := fmt.Fprintf(w, "%-28s %-5s %10s %12s %10s %10s\n",
-		"operator", "edge", "state", "touched", "emitted", "retracted"); err != nil {
+	if _, err := fmt.Fprintf(w, "%-28s %-5s %-8s %10s %12s %10s %10s %6s\n",
+		"operator", "edge", "observed", "state", "touched", "emitted", "retracted", "viol"); err != nil {
 		return err
 	}
 	for _, p := range profs {
 		name := strings.Repeat("  ", p.Depth) + p.Class
-		if _, err := fmt.Fprintf(w, "%-28s %-5s %10d %12d %10d %10d\n",
-			name, p.Pattern, p.StateTuples, p.Touched, p.Emitted, p.Retracted); err != nil {
+		if _, err := fmt.Fprintf(w, "%-28s %-5s %-8s %10d %12d %10d %10d %6d\n",
+			name, p.Pattern, p.Observed.String(), p.StateTuples, p.Touched, p.Emitted, p.Retracted, p.Violations()); err != nil {
 			return err
 		}
 	}

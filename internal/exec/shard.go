@@ -64,12 +64,15 @@ type Sharded struct {
 	// Worker plumbing; nil chans means sequential (single shard, no workers).
 	chans   []chan shardOp
 	pending [][]Arrival
+	// pendingOrigin[i] is the monotonic stamp of shard i's oldest buffered
+	// arrival (the delta-latency origin for the next flushed batch).
+	pendingOrigin []int64
 	// free recycles drained batch slices from worker back to producer, so
 	// steady-state ingest reuses at most queue-depth+1 buffers per shard
 	// instead of allocating one per flush.
-	free []chan []Arrival
-	wg      sync.WaitGroup
-	closed  sync.Once
+	free   []chan []Arrival
+	wg     sync.WaitGroup
+	closed sync.Once
 	// done is set by Close; subsequent mutating calls return ErrClosed
 	// instead of writing to closed worker channels. Producer-side only, like
 	// the rest of the ingest API.
@@ -92,9 +95,13 @@ const (
 
 // shardOp is one unit of work for a shard worker: a batch of arrivals, or a
 // barrier request (ack != nil) answered once all prior batches are done.
+// origin is the monotonic time (obs.Nanotime) the batch's first arrival was
+// buffered, carried to the worker so recorded delta latency includes buffer
+// and queue wait; 0 when the executor is untimed.
 type shardOp struct {
-	batch []Arrival
-	ack   chan error
+	batch  []Arrival
+	ack    chan error
+	origin int64
 }
 
 // NewSharded builds a sharded executor over the physical plan. n < 2 (or a
@@ -154,6 +161,7 @@ func NewSharded(phys *plan.Physical, cfg Config, n int) (*Sharded, error) {
 		s.timed = cfg.Metrics != nil
 		s.chans = make([]chan shardOp, n)
 		s.pending = make([][]Arrival, n)
+		s.pendingOrigin = make([]int64, n)
 		s.free = make([]chan []Arrival, n)
 		s.qdepth = make([]*obs.Gauge, n)
 		s.blocked = make([]*obs.Counter, n)
@@ -188,7 +196,7 @@ func (s *Sharded) worker(i int) {
 			op.ack <- err
 			err = nil
 		case err == nil:
-			err = eng.PushBatch(op.batch)
+			err = eng.pushBatchFrom(op.origin, op.batch)
 		}
 		if op.batch != nil {
 			// Recycle the drained slice to the producer; drop it when the
@@ -258,6 +266,10 @@ func (s *Sharded) enqueue(a Arrival) error {
 		}
 	}
 	s.pending[i] = append(s.pending[i], a)
+	if s.timed && len(s.pending[i]) == 1 {
+		// The delta-latency origin: the oldest buffered arrival's admission.
+		s.pendingOrigin[i] = obs.Nanotime()
+	}
 	if len(s.pending[i]) >= shardBatch {
 		s.flushShard(i)
 	}
@@ -273,7 +285,7 @@ func (s *Sharded) flushShard(i int) {
 	}
 	batch := s.pending[i]
 	s.pending[i] = nil
-	op := shardOp{batch: batch}
+	op := shardOp{batch: batch, origin: s.pendingOrigin[i]}
 	select {
 	case s.chans[i] <- op:
 	default:
@@ -567,9 +579,32 @@ func (s *Sharded) Watermark() int64 {
 	return w
 }
 
+// DeltaLatency merges the per-shard ingest→emit latency distributions
+// (bucket-wise, quantiles recomputed) for positive and negative deltas.
+func (s *Sharded) DeltaLatency() (pos, neg obs.LogHistogramSnapshot) {
+	pos, neg = s.shards[0].DeltaLatency()
+	for _, eng := range s.shards[1:] {
+		p, n := eng.DeltaLatency()
+		pos = pos.Merge(p)
+		neg = neg.Merge(n)
+	}
+	return pos, neg
+}
+
+// Violations sums pattern-conformance violations across all shards; a
+// conformant run reports 0.
+func (s *Sharded) Violations() int64 {
+	var total int64
+	for _, eng := range s.shards {
+		total += eng.Violations()
+	}
+	return total
+}
+
 // Profile merges the per-shard operator profiles by plan position: counters
-// and state sum across shards, batch latencies take the max. Like Stats it
-// reads only atomic instruments, so it is safe while workers run.
+// and state sum across shards, batch latencies take the max, and the
+// observed pattern class is the strongest any shard exhibited. Like Stats
+// it reads only atomic instruments, so it is safe while workers run.
 func (s *Sharded) Profile() []OpProfile {
 	out := s.shards[0].Profile()
 	for _, eng := range s.shards[1:] {
@@ -591,6 +626,12 @@ func (s *Sharded) Profile() []OpProfile {
 			if p.LastBatchNanos > out[i].LastBatchNanos {
 				out[i].LastBatchNanos = p.LastBatchNanos
 			}
+			if p.Observed > out[i].Observed {
+				out[i].Observed = p.Observed
+			}
+			out[i].ViolExpiration += p.ViolExpiration
+			out[i].ViolOutOfOrder += p.ViolOutOfOrder
+			out[i].ViolPremature += p.ViolPremature
 		}
 	}
 	return out

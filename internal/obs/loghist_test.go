@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestLogHistogramCounts(t *testing.T) {
+	h := NewLogHistogram()
+	for _, v := range []int64{1, 2, 3, 100, 1000, 1000, 5000} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 7 {
+		t.Errorf("Count = %d, want 7", got)
+	}
+	if got := h.Sum(); got != 7106 {
+		t.Errorf("Sum = %d, want 7106", got)
+	}
+	if got := h.Max(); got != 5000 {
+		t.Errorf("Max = %d, want 5000", got)
+	}
+	h.ObserveN(10, 3)
+	if got := h.Count(); got != 10 {
+		t.Errorf("Count after ObserveN = %d, want 10", got)
+	}
+	if got := h.Sum(); got != 7136 {
+		t.Errorf("Sum after ObserveN = %d, want 7136", got)
+	}
+}
+
+func TestLogHistogramNegativeClamped(t *testing.T) {
+	h := NewLogHistogram()
+	h.Observe(-5)
+	if got := h.Count(); got != 1 {
+		t.Errorf("Count = %d, want 1", got)
+	}
+	if got := h.Sum(); got != 0 {
+		t.Errorf("Sum = %d, want 0 (negative observations clamp to 0)", got)
+	}
+}
+
+func TestLogHistogramNilSafe(t *testing.T) {
+	var h *LogHistogram
+	h.Observe(5)
+	h.ObserveN(5, 3)
+	if h.Count() != 0 || h.Sum() != 0 || h.Max() != 0 {
+		t.Error("nil histogram must read as zero")
+	}
+	s := h.Snapshot()
+	if s.Count != 0 {
+		t.Errorf("nil Snapshot.Count = %d, want 0", s.Count)
+	}
+}
+
+// Quantile estimates interpolate within a power-of-two bucket, so the tight
+// guarantee is bucket-level: the estimate lies within the bucket holding the
+// true quantile, and never exceeds the recorded max.
+func TestLogHistogramQuantiles(t *testing.T) {
+	h := NewLogHistogram()
+	// 100 observations of 1000 (bucket [512, 1024)), one of 1<<20.
+	h.ObserveN(1000, 100)
+	h.Observe(1 << 20)
+	s := h.Snapshot()
+	if s.P50 < 512 || s.P50 >= 1024 {
+		t.Errorf("P50 = %d, want within [512, 1024)", s.P50)
+	}
+	if s.P95 < 512 || s.P95 >= 1024 {
+		t.Errorf("P95 = %d, want within [512, 1024)", s.P95)
+	}
+	// P99 rank = 99 of 101: still in the 1000s bucket.
+	if s.P99 < 512 || s.P99 >= 1024 {
+		t.Errorf("P99 = %d, want within [512, 1024)", s.P99)
+	}
+	if s.Max != 1<<20 {
+		t.Errorf("Max = %d, want %d", s.Max, int64(1<<20))
+	}
+	// All-in-top-bucket distribution: quantiles clamp to Max, never above.
+	h2 := NewLogHistogram()
+	h2.ObserveN(700, 4)
+	s2 := h2.Snapshot()
+	if s2.P99 > s2.Max {
+		t.Errorf("P99 = %d exceeds Max = %d", s2.P99, s2.Max)
+	}
+}
+
+func TestLogHistogramMerge(t *testing.T) {
+	a := NewLogHistogram()
+	b := NewLogHistogram()
+	a.ObserveN(100, 10)
+	b.ObserveN(10000, 10)
+	b.Observe(1 << 30)
+	m := a.Snapshot().Merge(b.Snapshot())
+	if m.Count != 21 {
+		t.Errorf("merged Count = %d, want 21", m.Count)
+	}
+	if want := int64(10*100 + 10*10000 + 1<<30); m.Sum != want {
+		t.Errorf("merged Sum = %d, want %d", m.Sum, want)
+	}
+	if m.Max != 1<<30 {
+		t.Errorf("merged Max = %d, want %d", m.Max, int64(1<<30))
+	}
+	// Median of the merged distribution sits in the low bucket ([64, 128)
+	// holds 100; interpolation may land on the upper edge), p95 in the high
+	// one ([8192, 16384) holds 10000).
+	if m.P50 < 64 || m.P50 > 128 {
+		t.Errorf("merged P50 = %d, want within [64, 128]", m.P50)
+	}
+	if m.P95 < 8192 || m.P95 > 16384 {
+		t.Errorf("merged P95 = %d, want within [8192, 16384]", m.P95)
+	}
+}
+
+// TestLogHistogramConcurrent exercises parallel recorders against snapshot
+// readers; run under -race this is the histogram's thread-safety gate.
+func TestLogHistogramConcurrent(t *testing.T) {
+	h := NewLogHistogram()
+	const (
+		writers = 4
+		perW    = 2000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				h.Observe(seed*1000 + int64(i))
+				if i%16 == 0 {
+					h.ObserveN(int64(i), 2)
+				}
+			}
+		}(int64(w + 1))
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var last int64
+		for i := 0; i < 1000; i++ {
+			s := h.Snapshot()
+			if s.Count < last {
+				t.Errorf("Snapshot.Count regressed: %d after %d", s.Count, last)
+				return
+			}
+			last = s.Count
+		}
+	}()
+	wg.Wait()
+	<-done
+	want := int64(writers * (perW + perW/16*2))
+	if got := h.Count(); got != want {
+		t.Errorf("final Count = %d, want %d", got, want)
+	}
+}
+
+func TestNanotimeMonotonic(t *testing.T) {
+	a := Nanotime()
+	b := Nanotime()
+	if a < 0 || b < a {
+		t.Errorf("Nanotime regressed: %d then %d", a, b)
+	}
+}

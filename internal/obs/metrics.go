@@ -239,6 +239,7 @@ const (
 	kindCounter metricKind = iota
 	kindGauge
 	kindHistogram
+	kindLogHistogram
 )
 
 func (k metricKind) String() string {
@@ -249,6 +250,10 @@ func (k metricKind) String() string {
 		return "gauge"
 	case kindHistogram:
 		return "histogram"
+	case kindLogHistogram:
+		// Log-bucketed histograms expose pre-computed quantiles, which is
+		// the Prometheus summary shape.
+		return "summary"
 	default:
 		return "untyped"
 	}
@@ -263,6 +268,7 @@ type metric struct {
 	c      *Counter
 	g      *Gauge
 	h      *Histogram
+	lh     *LogHistogram
 }
 
 // Registry holds named metrics. Registration is idempotent: asking for the
@@ -294,6 +300,8 @@ func (r *Registry) lookup(name string, labels Labels, kind metricKind, help stri
 		m.c = &Counter{}
 	case kindGauge:
 		m.g = &Gauge{}
+	case kindLogHistogram:
+		m.lh = NewLogHistogram()
 	}
 	r.metrics = append(r.metrics, m)
 	r.index[key] = m
@@ -331,6 +339,16 @@ func (r *Registry) Histogram(name, help string, bounds []int64, labels Labels) *
 	return m.h
 }
 
+// LogHistogram registers (or retrieves) a lock-free log-bucketed histogram
+// with quantile exposition (Prometheus summary shape). Safe on nil
+// (returns nil).
+func (r *Registry) LogHistogram(name, help string, labels Labels) *LogHistogram {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, labels, kindLogHistogram, help).lh
+}
+
 // WritePrometheus renders every registered metric in the Prometheus text
 // exposition format (version 0.0.4). Safe on nil (writes nothing).
 func (r *Registry) WritePrometheus(w io.Writer) error {
@@ -361,6 +379,8 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			_, err = fmt.Fprintf(w, "%s%s %d\n", m.name, m.labels, m.g.Value())
 		case kindHistogram:
 			err = writePromHistogram(w, m)
+		case kindLogHistogram:
+			err = writePromLogHistogram(w, m)
 		}
 		if err != nil {
 			return err
@@ -389,6 +409,26 @@ func writePromHistogram(w io.Writer, m *metric) error {
 	return err
 }
 
+func writePromLogHistogram(w io.Writer, m *metric) error {
+	s := m.lh.Snapshot()
+	for _, q := range [...]struct {
+		label string
+		v     int64
+	}{{`quantile="0.5"`, s.P50}, {`quantile="0.95"`, s.P95}, {`quantile="0.99"`, s.P99}} {
+		if _, err := fmt.Fprintf(w, "%s%s %d\n", m.name, mergeLabel(m.labels, q.label), q.v); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_max%s %d\n", m.name, m.labels, s.Max); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %d\n", m.name, m.labels, s.Sum); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", m.name, m.labels, s.Count)
+	return err
+}
+
 // mergeLabel splices an extra label pair into an already-rendered label
 // set.
 func mergeLabel(rendered, extra string) string {
@@ -401,18 +441,20 @@ func mergeLabel(rendered, extra string) string {
 // Snapshot is a point-in-time copy of a whole registry, keyed by
 // name{labels}.
 type Snapshot struct {
-	Counters   map[string]int64             `json:"counters,omitempty"`
-	Gauges     map[string]int64             `json:"gauges,omitempty"`
-	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Counters      map[string]int64                `json:"counters,omitempty"`
+	Gauges        map[string]int64                `json:"gauges,omitempty"`
+	Histograms    map[string]HistogramSnapshot    `json:"histograms,omitempty"`
+	LogHistograms map[string]LogHistogramSnapshot `json:"log_histograms,omitempty"`
 }
 
 // Snapshot copies every metric's current value. Safe on nil (returns an
 // empty snapshot).
 func (r *Registry) Snapshot() Snapshot {
 	s := Snapshot{
-		Counters:   map[string]int64{},
-		Gauges:     map[string]int64{},
-		Histograms: map[string]HistogramSnapshot{},
+		Counters:      map[string]int64{},
+		Gauges:        map[string]int64{},
+		Histograms:    map[string]HistogramSnapshot{},
+		LogHistograms: map[string]LogHistogramSnapshot{},
 	}
 	if r == nil {
 		return s
@@ -429,6 +471,8 @@ func (r *Registry) Snapshot() Snapshot {
 			s.Gauges[key] = m.g.Value()
 		case kindHistogram:
 			s.Histograms[key] = m.h.Snapshot()
+		case kindLogHistogram:
+			s.LogHistograms[key] = m.lh.Snapshot()
 		}
 	}
 	return s

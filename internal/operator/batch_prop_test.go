@@ -161,10 +161,10 @@ func TestBatchDriversEquivalent(t *testing.T) {
 		for seed := int64(0); seed < 5; seed++ {
 			t.Run(fmt.Sprintf("%s/seed%d", op.name, seed), func(t *testing.T) {
 				script := genScript(rand.New(rand.NewSource(seed)), op.sides, op.negOK, 120)
-				seq := op.make(t)  // tuple-at-a-time Process loop
-				fb := op.make(t)   // generic FallbackBatch driver
-				nat := op.make(t)  // ProcessBatchInto (native path if present)
-				out := GetEmit()   // pooled, recycled across events like the executor's
+				seq := op.make(t) // tuple-at-a-time Process loop
+				fb := op.make(t)  // generic FallbackBatch driver
+				nat := op.make(t) // ProcessBatchInto (native path if present)
+				out := GetEmit()  // pooled, recycled across events like the executor's
 				defer PutEmit(out)
 				for i, ev := range script {
 					if ev.run == nil {

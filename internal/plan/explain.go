@@ -37,6 +37,14 @@ type NodeStats struct {
 	ProcNanos int64
 	// MaxBatchNanos/LastBatchNanos bound one Process call's latency.
 	MaxBatchNanos, LastBatchNanos int64
+	// Observed is the update-pattern class the operator's output stream has
+	// actually exhibited, per the executor's conformance monitor; compare
+	// with the node's declared class on the tree line. Mismatch marks
+	// Observed exceeding the declaration (a conformance failure), and
+	// Violations counts the offending retractions.
+	Observed   core.Pattern
+	Mismatch   bool
+	Violations int64
 }
 
 // ExplainNode is one rendered plan node: an operator (PNode != nil) or a
@@ -253,6 +261,13 @@ func (s *NodeStats) line() string {
 		s.InPos, s.InNeg, s.OutPos, s.OutNeg, s.Expired, s.State, s.Touched)
 	if s.ProcNanos > 0 || s.MaxBatchNanos > 0 {
 		out += fmt.Sprintf("  proc %s (max %s)", fmtNanos(s.ProcNanos), fmtNanos(s.MaxBatchNanos))
+	}
+	out += fmt.Sprintf("  observed [%v]", s.Observed)
+	switch {
+	case s.Mismatch:
+		out += fmt.Sprintf(" EXCEEDS DECLARED (%d violations)", s.Violations)
+	case s.Violations > 0:
+		out += fmt.Sprintf(" (%d violations)", s.Violations)
 	}
 	return out
 }

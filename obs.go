@@ -1,9 +1,11 @@
 package repro
 
 import (
+	"fmt"
 	"io"
 	"net/http"
 
+	"repro/internal/exec"
 	"repro/internal/obs"
 )
 
@@ -26,6 +28,9 @@ type (
 	TraceEventKind = obs.EventKind
 	// TraceSink receives every traced event.
 	TraceSink = obs.Sink
+	// JSONLSink streams traced events as JSON lines; Flush forces buffered
+	// events to the writer mid-run, Close flushes and finishes.
+	JSONLSink = obs.JSONLSink
 	// RingSink keeps the last N events in memory.
 	RingSink = obs.RingSink
 	// MetricsServer is a running HTTP exposition endpoint.
@@ -33,6 +38,10 @@ type (
 	// MetricsPage is one extra endpoint mounted on the exposition handler,
 	// e.g. Engine.PlanPage's /debug/plan.
 	MetricsPage = obs.Page
+	// LatencySnapshot is a point-in-time reading of a delta-latency
+	// distribution: count, sum, max, and interpolated p50/p95/p99, all in
+	// nanoseconds (see Engine.DeltaLatency).
+	LatencySnapshot = obs.LogHistogramSnapshot
 )
 
 // Trace event kinds.
@@ -53,6 +62,9 @@ const (
 	EvEagerPass = obs.EvEagerPass
 	// EvLazyPass is one lazy maintenance pass that moved tuples.
 	EvLazyPass = obs.EvLazyPass
+	// EvDeltaSpan is one sampled per-delta span: the operator-by-operator
+	// dwell breakdown of a traced arrival (see WithTraceSampling).
+	EvDeltaSpan = obs.EvDeltaSpan
 )
 
 // NewMetricsRegistry builds an empty metrics registry.
@@ -63,10 +75,12 @@ func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
 func NewTracer(sinks ...TraceSink) *Tracer { return obs.NewTracer(sinks...) }
 
 // NewJSONLSink writes one JSON object per traced event to w (buffered;
-// Close flushes).
-func NewJSONLSink(w io.Writer) TraceSink { return obs.NewJSONLSink(w) }
+// Flush forces partial output mid-run, Close flushes and finishes).
+func NewJSONLSink(w io.Writer) *JSONLSink { return obs.NewJSONLSink(w) }
 
-// NewRingSink keeps the most recent n events in memory.
+// NewRingSink keeps the most recent n events in memory. Overwritten events
+// are counted; chain .ExposeDropped(reg) to surface that count as the
+// upa_trace_dropped_total series instead of dropping silently.
 func NewRingSink(n int) *RingSink { return obs.NewRingSink(n) }
 
 // WithMetrics registers the compiled engine's instruments in reg and
@@ -78,6 +92,31 @@ func WithMetrics(reg *MetricsRegistry) Option {
 // WithTracer attaches a typed-event tracer to the compiled engine.
 func WithTracer(t *Tracer) Option {
 	return func(c *compileCfg) { c.execCfg.Tracer = t }
+}
+
+// WithQueryLabel merges a {query: name} label into every metric series the
+// compiled engine registers, so one registry (and one exposition endpoint)
+// can carry several queries' series side by side.
+func WithQueryLabel(name string) Option {
+	return func(c *compileCfg) {
+		merged := obs.Labels{}
+		for k, v := range c.execCfg.MetricLabels {
+			merged[k] = v
+		}
+		merged["query"] = name
+		c.execCfg.MetricLabels = merged
+	}
+}
+
+// WithTraceSampling enables per-delta span tracing: one in every n admitted
+// arrivals (or arrival runs, on the batch path) is traced through the plan,
+// emitting one EvDeltaSpan event per operator it touches with that
+// operator's dwell time. Requires a WithTracer tracer that wants
+// EvDeltaSpan; n <= 0 disables sampling (the default). Keep n large (say,
+// 1000+) on hot streams — sampling exists so spans stay within the <5%
+// instrumentation overhead budget.
+func WithTraceSampling(n int) Option {
+	return func(c *compileCfg) { c.execCfg.TraceSampleEvery = n }
 }
 
 // MetricsHandler serves reg over HTTP: /metrics (Prometheus text format),
@@ -124,4 +163,53 @@ func (e *Engine) Metrics() *MetricsRegistry {
 		return e.sh.Metrics()
 	}
 	return e.seq.Metrics()
+}
+
+// DeltaLatency snapshots the engine's ingest→emit delta-latency
+// distributions, split by output polarity: pos covers emitted insertions,
+// neg covers retractions (negative tuples). Latency is measured from the
+// moment an arrival enters Push/PushBatch (for sharded engines: enters the
+// shard buffer, so queue wait counts) to the moment its consequences are
+// folded into the result view. Recording requires WithMetrics; without it
+// both snapshots are zero. Sharded engines fold all shards' histograms.
+func (e *Engine) DeltaLatency() (pos, neg LatencySnapshot) {
+	if e.sh != nil {
+		return e.sh.DeltaLatency()
+	}
+	return e.seq.DeltaLatency()
+}
+
+// PatternViolations returns the total number of update-pattern conformance
+// violations the engine's per-edge monitor has recorded: retractions that
+// exceeded their operator's declared pattern class (expirations on a
+// monotonic edge, out-of-insertion-order expirations on a weakest/FIFO
+// edge, premature expirations on a weak edge). Zero on a conformant run.
+// Per-operator and per-kind breakdowns are in OpStats, EXPLAIN ANALYZE, the
+// upa_pattern_violations_total series, and ConformancePage.
+func (e *Engine) PatternViolations() int64 {
+	if e.sh != nil {
+		return e.sh.Violations()
+	}
+	return e.seq.Violations()
+}
+
+// ConformancePage returns a /debug/conformance page for the exposition
+// endpoint: one row per operator with its declared and observed
+// update-pattern classes and violation counts by kind, plus the
+// delta-latency percentiles — the conformance monitor's verdict at a
+// glance. Reads are atomic; the page never blocks the engine.
+func (e *Engine) ConformancePage() MetricsPage {
+	return MetricsPage{
+		Path:  "/debug/conformance",
+		Title: "update-pattern conformance: declared vs observed per operator",
+		Handler: func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_ = exec.WriteConformance(w, e.OpStats())
+			pos, neg := e.DeltaLatency()
+			fmt.Fprintf(w, "\ndelta latency (ns): pos n=%d p50=%d p95=%d p99=%d max=%d\n",
+				pos.Count, pos.P50, pos.P95, pos.P99, pos.Max)
+			fmt.Fprintf(w, "                    neg n=%d p50=%d p95=%d p99=%d max=%d\n",
+				neg.Count, neg.P50, neg.P95, neg.P99, neg.Max)
+		},
+	}
 }

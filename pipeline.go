@@ -46,6 +46,12 @@ func CompilePipeline(q Node, strategy Strategy, opts ...Option) (*PipelineEngine
 	if err != nil {
 		return nil, err
 	}
+	// WithMetrics (plus WithQueryLabel) applies: the pipeline registers its
+	// delta-latency histograms and stamps every arrival with an origin, so
+	// the view goroutine records ingest→emit latency per folded delta.
+	if cfg.execCfg.Metrics != nil {
+		pipe.Instrument(cfg.execCfg.Metrics, cfg.execCfg.MetricLabels)
+	}
 	return &PipelineEngine{Pipeline: pipe, phys: phys}, nil
 }
 
