@@ -2,6 +2,8 @@ package bench
 
 import (
 	"bytes"
+	"encoding/json"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -194,5 +196,29 @@ func TestWriteTable(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+func TestReportStampsPlatformPerExperiment(t *testing.T) {
+	r := NewReport("quick")
+	r.Add("e1", "throughput", nil)
+	if len(r.Experiments) != 1 {
+		t.Fatalf("got %d experiments", len(r.Experiments))
+	}
+	e := r.Experiments[0]
+	if e.GOOS != runtime.GOOS || e.GOARCH != runtime.GOARCH || e.NumCPU != runtime.NumCPU() {
+		t.Fatalf("experiment host stamp = %s/%s/%d, want %s/%s/%d",
+			e.GOOS, e.GOARCH, e.NumCPU, runtime.GOOS, runtime.GOARCH, runtime.NumCPU())
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Experiments[0].GOOS != runtime.GOOS || back.Experiments[0].GOARCH != runtime.GOARCH {
+		t.Fatalf("platform stamp lost in JSON round-trip: %+v", back.Experiments[0])
 	}
 }

@@ -25,14 +25,17 @@ type Report struct {
 	Experiments []ExperimentReport `json:"experiments"`
 }
 
-// ExperimentReport is one experiment's rendered tables. NumCPU is stamped
-// per experiment (not only at the report top level) because core-count
-// caveats are experiment-specific: e9's parallel speedups are meaningless
-// when NumCPU < shards, and a result file's experiments may be merged from
-// runs on different hosts.
+// ExperimentReport is one experiment's rendered tables. The host facts
+// (GOOS/GOARCH/NumCPU) are stamped per experiment, not only at the report
+// top level, because a result file's experiments may be merged from runs on
+// different hosts: core-count caveats are experiment-specific (e9's parallel
+// speedups are meaningless when NumCPU < shards), and cross-platform merges
+// need each experiment to say which platform produced it.
 type ExperimentReport struct {
 	ID     string  `json:"id"`
 	Title  string  `json:"title"`
+	GOOS   string  `json:"goos"`
+	GOARCH string  `json:"goarch"`
 	NumCPU int     `json:"num_cpu"`
 	Tables []Table `json:"tables"`
 }
@@ -49,10 +52,12 @@ func NewReport(scale string) *Report {
 }
 
 // Add appends one experiment's tables to the report, stamped with the
-// host's core count.
+// host's platform and core count.
 func (r *Report) Add(id, title string, tabs []Table) {
 	r.Experiments = append(r.Experiments, ExperimentReport{
-		ID: id, Title: title, NumCPU: runtime.NumCPU(), Tables: tabs,
+		ID: id, Title: title,
+		GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, NumCPU: runtime.NumCPU(),
+		Tables: tabs,
 	})
 }
 

@@ -28,8 +28,10 @@ import (
 )
 
 // Version is the current checkpoint format version. A Decoder refuses any
-// other version with an error wrapping ErrVersion.
-const Version = 1
+// other version with an error wrapping ErrVersion. Version 2 appended the
+// string-interner section (symbol table and columnar-eligibility flag) to
+// each engine state section; version-1 streams are not readable.
+const Version = 2
 
 // magic identifies a checkpoint stream. It never changes across versions;
 // the version number that follows it does.

@@ -113,3 +113,46 @@ func TestBatchIngestAllocBudgetInstrumented(t *testing.T) {
 		t.Error("instrumented run recorded no delta latency")
 	}
 }
+
+// colIngestAllocBudget is the checked-in ceiling for one steady-state
+// 64-arrival PushBatch on the columnar Q1/UPA path. The acceptance bar is
+// zero allocations per tuple: layout vectors, selection masks, probe
+// scratch, arena rows (recycled on expiry), and hash buckets (freelisted)
+// all reach fixed capacity after warmup. The small headroom absorbs the
+// rare amortized growths that survive any warmup horizon — a view page, a
+// bucket spill, an arena slab for a fresh row shape — without admitting
+// any per-tuple cost (64 arrivals per batch, so even one alloc per tuple
+// would overshoot by an order of magnitude).
+const colIngestAllocBudget = 4.0
+
+// TestColIngestAllocBudget gates the columnar ingest path at effectively
+// zero steady-state allocations, on the instrumented engine (the
+// deployment shape the throughput acceptance is measured in).
+func TestColIngestAllocBudget(t *testing.T) {
+	if race.Enabled {
+		t.Skip("allocation budgets are meaningless under -race")
+	}
+	eng := benchQ1Engine(t, 5000, true, true)
+	batch := benchBatch()
+	base := int64(0)
+	runOnce := func() {
+		restamp(batch, base)
+		if err := eng.PushBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+		base += 4
+	}
+	// Warm past the 5000-tick window horizon so expiry, arena recycling, and
+	// the bucket freelist reach steady state.
+	for i := 0; i < 2048; i++ {
+		runOnce()
+	}
+	got := testing.AllocsPerRun(200, runOnce)
+	t.Logf("steady-state columnar PushBatch: %.2f allocs per 64-arrival batch (%.4f/tuple)", got, got/64)
+	if got > colIngestAllocBudget {
+		t.Errorf("steady-state columnar PushBatch: %.2f allocs per 64-arrival batch, budget %.2f", got, colIngestAllocBudget)
+	}
+	if !eng.colOK {
+		t.Error("engine demoted off the columnar path during the run")
+	}
+}

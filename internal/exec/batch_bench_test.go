@@ -1,10 +1,12 @@
 package exec
 
-// Benchmarks pinning the batch execution fast path: the same bursty arrival
-// stream pushed tuple-at-a-time (Push) versus run-coalesced (PushBatch) into
-// the paper's Query 1 (join of ftp-selections) compiled with the UPA strategy
-// over a 5000-tick window. The tuples/sec ratio and allocs/op drop are the
-// acceptance numbers recorded in BENCH_PR5.json.
+// Benchmarks pinning the batch execution fast paths: the same bursty arrival
+// stream pushed tuple-at-a-time (Push), run-coalesced on the row batch path
+// (PushBatch with NoColumnar), and run-coalesced on the columnar path
+// (PushBatch, the default) into the paper's Query 1 (join of ftp-selections)
+// compiled with the UPA strategy over a 5000-tick window. The tuples/sec
+// ratios and allocs/op drops are the acceptance numbers recorded in
+// BENCH_PR5.json and BENCH_PR7.json.
 
 import (
 	"math/rand"
@@ -24,7 +26,7 @@ import (
 // one of the overheads the batch path amortizes per run instead of paying
 // per tuple, so the instrumented engine is where the tuple/batch contrast is
 // representative. BENCH_PR5.json records the bare-engine numbers alongside.
-func benchQ1Engine(b *testing.B, winSize int64, metrics bool) *Engine {
+func benchQ1Engine(b testing.TB, winSize int64, metrics, columnar bool) *Engine {
 	b.Helper()
 	ftpSel := func(id int) *plan.Node {
 		src := plan.NewSource(id, window.Spec{Type: window.TimeBased, Size: winSize}, linkSchema())
@@ -38,13 +40,16 @@ func benchQ1Engine(b *testing.B, winSize int64, metrics bool) *Engine {
 	if err != nil {
 		b.Fatal(err)
 	}
-	cfg := Config{LazyInterval: 50, EagerInterval: 1}
+	cfg := Config{LazyInterval: 50, EagerInterval: 1, NoColumnar: !columnar}
 	if metrics {
 		cfg.Metrics = obs.NewRegistry()
 	}
 	eng, err := New(phys, cfg)
 	if err != nil {
 		b.Fatal(err)
+	}
+	if eng.colOK != columnar {
+		b.Fatalf("colOK = %v, want %v", eng.colOK, columnar)
 	}
 	return eng
 }
@@ -100,7 +105,7 @@ func BenchmarkIngestTupleQ1UPABare(b *testing.B) {
 }
 
 func benchIngestTuple(b *testing.B, metrics bool) {
-	eng := benchQ1Engine(b, 5000, metrics)
+	eng := benchQ1Engine(b, 5000, metrics, false)
 	batch := benchBatch()
 	base := int64(0)
 	b.ReportAllocs()
@@ -118,20 +123,33 @@ func benchIngestTuple(b *testing.B, metrics bool) {
 	b.ReportMetric(float64(b.N*len(batch))/b.Elapsed().Seconds(), "tuples/sec")
 }
 
-// BenchmarkIngestBatchQ1UPA is the run-coalescing fast path over the
-// identical arrival stream.
+// BenchmarkIngestBatchQ1UPA is the run-coalescing row batch path over the
+// identical arrival stream, pinned to NoColumnar so the PR 5 baseline stays
+// comparable across PRs.
 func BenchmarkIngestBatchQ1UPA(b *testing.B) {
-	benchIngestBatch(b, true)
+	benchIngestBatch(b, true, false)
 }
 
-// BenchmarkIngestBatchQ1UPABare is the fast path on an uninstrumented
+// BenchmarkIngestBatchQ1UPABare is the row batch path on an uninstrumented
 // engine (no metrics registry).
 func BenchmarkIngestBatchQ1UPABare(b *testing.B) {
-	benchIngestBatch(b, false)
+	benchIngestBatch(b, false, false)
 }
 
-func benchIngestBatch(b *testing.B, metrics bool) {
-	eng := benchQ1Engine(b, 5000, metrics)
+// BenchmarkIngestColQ1UPA is the columnar path (the default engine
+// configuration) over the identical arrival stream.
+func BenchmarkIngestColQ1UPA(b *testing.B) {
+	benchIngestBatch(b, true, true)
+}
+
+// BenchmarkIngestColQ1UPABare is the columnar path on an uninstrumented
+// engine (no metrics registry).
+func BenchmarkIngestColQ1UPABare(b *testing.B) {
+	benchIngestBatch(b, false, true)
+}
+
+func benchIngestBatch(b *testing.B, metrics, columnar bool) {
+	eng := benchQ1Engine(b, 5000, metrics, columnar)
 	batch := benchBatch()
 	base := int64(0)
 	b.ReportAllocs()
@@ -144,5 +162,8 @@ func benchIngestBatch(b *testing.B, metrics bool) {
 		base += 4
 	}
 	b.StopTimer()
+	if eng.colOK != columnar {
+		b.Fatalf("colOK = %v after run, want %v", eng.colOK, columnar)
+	}
 	b.ReportMetric(float64(b.N*len(batch))/b.Elapsed().Seconds(), "tuples/sec")
 }

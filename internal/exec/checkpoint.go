@@ -178,6 +178,16 @@ func (e *Engine) writeState(enc *checkpoint.Encoder) error {
 	if err := vs.SaveState(enc); err != nil {
 		return err
 	}
+	// Interner section (format version 2): the symbol table in id order, so
+	// restored columnar state and kernel constants resolve to identical ids,
+	// plus the not-demoted flag — a demoted engine must stay demoted across
+	// restore, because its serialized state may hold kind-nonconforming rows.
+	strs := e.intern.Strings()
+	enc.Uvarint(uint64(len(strs)))
+	for _, s := range strs {
+		enc.String(s)
+	}
+	enc.Bool(e.colOK)
 	return enc.Err()
 }
 
@@ -215,9 +225,24 @@ func (e *Engine) readState(dec *checkpoint.Decoder) error {
 	if err := vs.LoadState(dec); err != nil {
 		return err
 	}
+	n := dec.Count()
 	if err := dec.Err(); err != nil {
 		return err
 	}
+	strs := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		strs = append(strs, dec.String())
+	}
+	savedColOK := dec.Bool()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if err := e.intern.Reset(strs); err != nil {
+		return fmt.Errorf("%w: %v", checkpoint.ErrCorrupt, err)
+	}
+	// AND, never OR: a plan this engine cannot run columnar stays row-form
+	// regardless of what the saving engine did, and a saved demotion sticks.
+	e.colOK = e.colOK && savedColOK
 	e.met.clock.Set(e.clock)
 	e.met.watermark.Set(e.Watermark())
 	e.refreshStateGauges()

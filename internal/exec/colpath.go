@@ -1,0 +1,224 @@
+package exec
+
+import (
+	"repro/internal/obs"
+	"repro/internal/operator"
+	"repro/internal/plan"
+	"repro/internal/tuple"
+)
+
+// Columnar execution path. When a plan qualifies (colPlanSupported), ingest
+// runs lay out arrivals as per-column typed vectors at the window boundary —
+// string values interned to dense ids, expiration stamped in one vectorized
+// pass — and flow through the operator kernels of operator/colkernel.go
+// without ever materializing row tuples except where state or the view
+// requires them. The fallback ladder is per plan, then per engine:
+//
+//   - plan-time: any operator without a kernel, a materialized (NT) window, a
+//     stream feeding several windows, or a non-scalar column kind keeps the
+//     whole plan on the row batch path (colOK never set);
+//   - run-time: the first arrival whose value kinds disagree with its stream
+//     schema demotes the engine permanently — mixed-kind data could otherwise
+//     plant row-path state a later columnar probe cannot lay out. Demotion
+//     replays the offending run through the row path unchanged, and the flag
+//     is persisted in checkpoints so a restored engine stays demoted.
+//
+// Both paths mutate the same operator state through the same buffer
+// operations and canonical keys, so they are freely interleavable (Advance,
+// table updates, and NT retractions always use the row path).
+
+// colPlanSupported reports whether every layer of the plan has a columnar
+// fast path. Called once from New, after e.order is built.
+func (e *Engine) colPlanSupported() bool {
+	if len(e.phys.Sources) == 0 {
+		return false
+	}
+	counts := make(map[int]int, len(e.phys.Sources))
+	for _, s := range e.phys.Sources {
+		counts[s.StreamID]++
+	}
+	for _, s := range e.phys.Sources {
+		// A stream feeding several windows (self-join shapes) interleaves
+		// stamped tuples and evictions across sources; the row path keeps
+		// that ordering exact.
+		if counts[s.StreamID] != 1 {
+			return false
+		}
+		// Materialized windows (the NT strategy, count-based windows) evict
+		// per arrival; StampRun cannot vectorize them.
+		if s.Window.Materialized() {
+			return false
+		}
+		if !tuple.ColumnarKinds(s.Schema) {
+			return false
+		}
+	}
+	for _, n := range e.order {
+		if !operator.ColSupported(n.Op) {
+			return false
+		}
+		if !tuple.ColumnarKinds(n.Op.Schema()) {
+			return false
+		}
+	}
+	return true
+}
+
+// initColPath allocates the per-source and per-node batch buffers the
+// columnar path stages runs in. One buffer per plan edge suffices: a run
+// flows root-ward depth-first and no operator retains its input batch.
+func (e *Engine) initColPath() {
+	e.colSrc = make(map[*plan.PSource]*tuple.ColBatch, len(e.phys.Sources))
+	for _, s := range e.phys.Sources {
+		e.colSrc[s] = tuple.NewColBatch(s.Schema)
+	}
+	e.colOut = make(map[*plan.PNode]*tuple.ColBatch, len(e.order))
+	for _, n := range e.order {
+		e.colOut[n] = tuple.NewColBatch(n.Op.Schema())
+	}
+}
+
+// valsConform reports whether vals matches schema's width and column kinds
+// exactly — the admission criterion for columnar layout.
+func valsConform(schema *tuple.Schema, vals []tuple.Value) bool {
+	if len(vals) != schema.Len() {
+		return false
+	}
+	for i := range vals {
+		if vals[i].Kind != schema.Col(i).Kind {
+			return false
+		}
+	}
+	return true
+}
+
+// ingestRunCols admits a same-timestamp run in columnar form: lay out the
+// value vectors (interning strings), stamp the run's shared expiration with
+// one StampRun call, and feed the batch down the kernel pipeline. It returns
+// handled=false — after demoting the engine — when the run's kinds do not
+// conform, in which case the caller replays the run through the row path.
+func (e *Engine) ingestRunCols(src *plan.PSource, ts int64, run []Arrival) (handled bool, err error) {
+	cb := e.colSrc[src]
+	cb.Reset()
+	rows := e.colRows[:0]
+	for i := range run {
+		rows = append(rows, run[i].Vals)
+	}
+	ok := cb.AppendRun(ts, 0, rows, e.intern)
+	for i := range rows {
+		rows[i] = nil
+	}
+	e.colRows = rows[:0]
+	if !ok {
+		e.colOK = false
+		return false, nil
+	}
+	exp, err := src.Window.StampRun(ts, cb.Len())
+	if err != nil {
+		return true, err
+	}
+	cb.StampExp(exp)
+	return true, e.feedSourceCols(src, cb)
+}
+
+// feedSourceCols routes a window-stamped columnar run to the operator edge
+// (or straight to the view for a bare-window plan). On a measured engine it
+// takes the pipeline's first clock reading here; each kernel boundary then
+// takes exactly one more (see feedCols).
+func (e *Engine) feedSourceCols(src *plan.PSource, cb *tuple.ColBatch) error {
+	if cb.Len() == 0 {
+		return nil
+	}
+	if src.Consumer == nil {
+		e.applyResultCols(cb)
+		return nil
+	}
+	var t0 int64
+	if e.timed || e.spanActive {
+		t0 = obs.Nanotime()
+	}
+	return e.feedCols(src.Consumer, src.Side, cb, t0)
+}
+
+// feedCols processes a same-side columnar run at node through its kernel and
+// pushes the emitted batch toward the root — the columnar twin of feedBatch,
+// with identical counter semantics. Timing chains one monotonic reading per
+// kernel boundary through the pipeline: prev is the caller's reading (0 on an
+// unmeasured engine), this node's span runs from prev to the reading taken
+// after its kernel, and that reading is handed to the next node. Successive
+// kernels therefore cost one clock read each instead of a stop/start pair —
+// on short bursty runs the clock reads themselves were a double-digit share
+// of ingest time. Inter-kernel bookkeeping (polarity counters, batch reset)
+// rides in the downstream node's span; it is a few counter updates.
+func (e *Engine) feedCols(node *plan.PNode, side int, in *tuple.ColBatch, prev int64) error {
+	st := node.Scratch.(*opStats)
+	neg := int64(in.NegCount())
+	pos := int64(in.Len()) - neg
+	if pos > 0 {
+		st.inPos.Add(pos)
+	}
+	if neg > 0 {
+		st.inNeg.Add(neg)
+	}
+	out := e.colOut[node]
+	out.Reset()
+	err := operator.ProcessColBatch(node.Op, side, in, e.clock, out, e.intern)
+	var end int64
+	if prev != 0 {
+		end = obs.Nanotime()
+		d := end - prev
+		if e.timed {
+			st.procNanos.Add(d)
+			st.lastBatch.Set(d)
+			st.maxBatch.SetMax(d)
+		}
+		if e.spanActive {
+			e.tracer.Emit(obs.Event{Kind: obs.EvDeltaSpan, TS: e.clock, Node: st.name, Nanos: d, N: out.Len()})
+		}
+	}
+	if err != nil {
+		return err
+	}
+	return e.propagateCols(node, out, end)
+}
+
+// propagateCols forwards a columnar emission batch from node to its parent
+// (or the view at the root), with the same polarity accounting and
+// update-pattern conformance observation as propagateBatch — the retraction
+// observer classifies by expiration timestamp alone, so no row values are
+// materialized for it. prev is the chained clock reading for the parent's
+// span (see feedCols).
+func (e *Engine) propagateCols(node *plan.PNode, outs *tuple.ColBatch, prev int64) error {
+	if outs.Len() == 0 {
+		return nil
+	}
+	em := node.Scratch.(*opStats)
+	neg := int64(outs.NegCount())
+	pos := int64(outs.Len()) - neg
+	if neg > 0 {
+		for i, n := 0, outs.Len(); i < n; i++ {
+			if outs.NegAt(i) {
+				em.observeRetraction(tuple.Tuple{TS: outs.TSAt(i), Exp: outs.ExpAt(i), Neg: true}, e.clock)
+			}
+		}
+		em.neg.Add(neg)
+	}
+	if pos > 0 {
+		em.pos.Add(pos)
+	}
+	if node.Parent == nil {
+		e.applyResultCols(outs)
+		return nil
+	}
+	return e.feedCols(node.Parent, node.Side, outs, prev)
+}
+
+// applyResultCols folds a root emission batch into the result view, one
+// materialized row at a time (the view stores rows); value slices come from
+// the engine's arena, not per-tuple allocations.
+func (e *Engine) applyResultCols(cb *tuple.ColBatch) {
+	n := cb.Len()
+	for i := 0; i < n; i++ {
+		e.applyResult(cb.RowTuple(i, &e.colArena, e.intern))
+	}
+}

@@ -103,9 +103,12 @@ func (j *Join) SaveState(enc *checkpoint.Encoder) error {
 	return saveBuf(enc, j.state[1])
 }
 
-// LoadState implements checkpoint.Snapshotter.
+// LoadState implements checkpoint.Snapshotter. Restored rows hold
+// decoder-built value slices, not arena rows, so expired-row recycling stays
+// off for this join (see Join.mixedState).
 func (j *Join) LoadState(dec *checkpoint.Decoder) error {
 	j.clock = dec.Varint()
+	j.mixedState = true
 	if err := loadBuf(dec, j.state[0]); err != nil {
 		return err
 	}

@@ -13,6 +13,11 @@ import (
 type Select struct {
 	pred   Predicate
 	schema *tuple.Schema
+	// colMask and colTmp back the columnar kernel's selection masks across
+	// batches (see colkernel.go), so steady-state mask evaluation allocates
+	// nothing.
+	colMask []bool
+	colTmp  [][]bool
 }
 
 // NewSelect builds a selection operator.

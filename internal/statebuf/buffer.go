@@ -91,12 +91,37 @@ type KeyedInserter interface {
 	InsertKeyed(k tuple.Key, t tuple.Tuple)
 }
 
+// HashedBuffer extends KeyedInserter one step further: the caller hands over
+// the key's 64-bit digest as well, so a join that inserts a tuple on one side
+// and probes the other with the same key hashes it exactly once. The digest
+// must be k.Hash64(); k itself still travels with the probe because distinct
+// keys can collide into one digest bucket and each visited tuple is verified
+// against it.
+type HashedBuffer interface {
+	KeyedInserter
+	InsertHashed(h uint64, t tuple.Tuple)
+	ProbeAppendHashed(h uint64, k tuple.Key, now int64, dst []tuple.Tuple) []tuple.Tuple
+}
+
 // sortExpired orders expired tuples deterministically by (Exp, TS) so
-// replacement emissions are reproducible across buffer kinds. Expiry passes
-// are almost always tiny, so small slices take an allocation-free stable
-// insertion sort — sort.SliceStable's reflection swapper allocates on every
-// call, which the steady-state allocation gates forbid.
+// replacement emissions are reproducible across buffer kinds. FIFO-shaped
+// buffers pop expirations already in that order, so an O(n) sortedness scan
+// runs first — a large lazy pass then skips the sort entirely instead of
+// paying sort.SliceStable's reflection swapper to move nothing. Small
+// unsorted slices take an allocation-free stable insertion sort (the
+// reflection swapper allocates on every call, which the steady-state
+// allocation gates forbid).
 func sortExpired(ts []tuple.Tuple) []tuple.Tuple {
+	sorted := true
+	for i := 1; i < len(ts); i++ {
+		if expiresBefore(ts[i], ts[i-1]) {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		return ts
+	}
 	if len(ts) <= 32 {
 		for i := 1; i < len(ts); i++ {
 			for j := i; j > 0 && expiresBefore(ts[j], ts[j-1]); j-- {

@@ -151,8 +151,8 @@ func TestFIFOCompaction(t *testing.T) {
 	if b.Len() != 1 {
 		t.Errorf("Len = %d", b.Len())
 	}
-	if cap(b.items) > 256 {
-		t.Errorf("head space not reclaimed: cap=%d head=%d", cap(b.items), b.head)
+	if pages := len(b.items.pages); pages > 2 {
+		t.Errorf("head pages not recycled: %d pages for %d live tuples", pages, b.Len())
 	}
 }
 
@@ -430,7 +430,7 @@ func TestIndexedFIFOUnsortedFallback(t *testing.T) {
 		b.Insert(mk(10+i, 400-(i%2), 10+i))
 		b.ExpireUpTo(160)
 	}
-	if len(b.queue)-b.head > 2*b.Len()+64+2 {
-		t.Errorf("queue not pruned: %d entries for %d live", len(b.queue)-b.head, b.Len())
+	if b.queue.Len() > 2*b.Len()+64+2 {
+		t.Errorf("queue not pruned: %d entries for %d live", b.queue.Len(), b.Len())
 	}
 }

@@ -1,0 +1,178 @@
+package statebuf
+
+import "repro/internal/tuple"
+
+// chunkSize is the number of tuples per page. A power of two keeps the
+// index arithmetic to a shift and a mask; 128 tuples × ~56 bytes is a ~7 KiB
+// page — big enough that page turnover is rare, small enough that a page
+// pinned by one straggling live tuple wastes little.
+const chunkSize = 128
+
+// maxFreePages bounds the per-deque page freelist. Steady-state window churn
+// cycles between one and two live pages, so a small cache absorbs all page
+// turnover; beyond it pages are dropped to the GC.
+const maxFreePages = 4
+
+// chunk is one fixed-size page of tuples.
+type chunk struct {
+	items [chunkSize]tuple.Tuple
+}
+
+// chunkedTuples is a paged deque of tuples: pushes fill the tail page,
+// head-pops advance an offset into the front page, and a page is released —
+// cleared in one memclr and recycled through a freelist — only when wholly
+// consumed. This is the arena discipline for window and state-buffer pages:
+// expiration releases whole chunks instead of zeroing (and re-growing over)
+// per-tuple slots, and the freelist makes steady-state window slide allocate
+// nothing.
+//
+// The zero value is an empty deque.
+type chunkedTuples struct {
+	pages []*chunk
+	off   int // index of logical element 0 within pages[0]
+	n     int
+	free  []*chunk
+}
+
+// Len returns the number of stored tuples.
+func (c *chunkedTuples) Len() int { return c.n }
+
+// At returns a pointer to logical element i.
+func (c *chunkedTuples) At(i int) *tuple.Tuple {
+	j := c.off + i
+	return &c.pages[j/chunkSize].items[j%chunkSize]
+}
+
+// Push appends t at the tail.
+func (c *chunkedTuples) Push(t tuple.Tuple) {
+	end := c.off + c.n
+	pg := end / chunkSize
+	if pg == len(c.pages) {
+		c.pages = append(c.pages, c.newPage())
+	}
+	c.pages[pg].items[end%chunkSize] = t
+	c.n++
+}
+
+// PopHead removes and returns the front element. Popped slots are not zeroed
+// individually; the page is cleared wholesale when its last element leaves.
+func (c *chunkedTuples) PopHead() tuple.Tuple {
+	t := c.pages[0].items[c.off]
+	c.off++
+	c.n--
+	if c.n == 0 {
+		c.Reset()
+	} else if c.off == chunkSize {
+		c.recycle(0)
+		c.off = 0
+	}
+	return t
+}
+
+// RemoveAt deletes logical element i, shifting later elements left one slot.
+func (c *chunkedTuples) RemoveAt(i int) {
+	for j := i; j < c.n-1; j++ {
+		*c.At(j) = *c.At(j + 1)
+	}
+	*c.At(c.n - 1) = tuple.Tuple{}
+	c.n--
+	if c.n == 0 {
+		c.Reset()
+		return
+	}
+	// Drop a now-empty tail page.
+	used := (c.off + c.n + chunkSize - 1) / chunkSize
+	if used < len(c.pages) {
+		c.recycle(used)
+	}
+}
+
+// Scan visits elements in order until fn returns false.
+func (c *chunkedTuples) Scan(fn func(t tuple.Tuple) bool) {
+	for i := 0; i < c.n; i++ {
+		if !fn(*c.At(i)) {
+			return
+		}
+	}
+}
+
+// Reset empties the deque, releasing every page to the freelist.
+func (c *chunkedTuples) Reset() {
+	for len(c.pages) > 0 {
+		c.recycle(len(c.pages) - 1)
+	}
+	c.off = 0
+	c.n = 0
+}
+
+// recycle detaches pages[i], clears it in one pass, and caches it for reuse.
+func (c *chunkedTuples) recycle(i int) {
+	pg := c.pages[i]
+	copy(c.pages[i:], c.pages[i+1:])
+	c.pages[len(c.pages)-1] = nil
+	c.pages = c.pages[:len(c.pages)-1]
+	*pg = chunk{} // whole-page memclr releases every tuple reference at once
+	if len(c.free) < maxFreePages {
+		c.free = append(c.free, pg)
+	}
+}
+
+// newPage takes a page from the freelist or allocates a fresh one.
+func (c *chunkedTuples) newPage() *chunk {
+	if n := len(c.free); n > 0 {
+		pg := c.free[n-1]
+		c.free[n-1] = nil
+		c.free = c.free[:n-1]
+		return pg
+	}
+	return new(chunk)
+}
+
+// bkRing is a growable ring buffer of bucket pointers — the expiry twin of a
+// chunkedTuples queue. Each entry points at the hash bucket its queue-mate
+// was inserted into, so sorted expiration removes straight from the bucket
+// with no key rendering, hashing, or map access. A single contiguous array
+// (doubled in place when full) beats paging: head-pops just advance an index
+// (the vacated slot is nilled so parked buckets are not pinned forever).
+//
+// The zero value is an empty ring.
+type bkRing struct {
+	buf  []*bucket
+	head int // index of logical element 0
+	n    int
+}
+
+// Len returns the number of stored pointers.
+func (r *bkRing) Len() int { return r.n }
+
+// Push appends bk at the tail.
+func (r *bkRing) Push(bk *bucket) {
+	if r.n == len(r.buf) {
+		grown := make([]*bucket, max(2*len(r.buf), 64))
+		for i := 0; i < r.n; i++ {
+			grown[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+		}
+		r.buf = grown
+		r.head = 0
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = bk
+	r.n++
+}
+
+// PopHead removes and returns the front pointer.
+func (r *bkRing) PopHead() *bucket {
+	bk := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return bk
+}
+
+// Reset empties the ring, keeping its storage but releasing the pointers.
+func (r *bkRing) Reset() {
+	for i := range r.buf {
+		r.buf[i] = nil
+	}
+	r.head = 0
+	r.n = 0
+}

@@ -1,0 +1,159 @@
+package statebuf
+
+import (
+	"testing"
+
+	"repro/internal/tuple"
+)
+
+func ct(i int64) tuple.Tuple {
+	return tuple.Tuple{TS: i, Exp: i + 100, Vals: []tuple.Value{tuple.Int(i)}}
+}
+
+// TestChunkedDequeOrder pushes several pages' worth and checks FIFO order
+// across page boundaries.
+func TestChunkedDequeOrder(t *testing.T) {
+	var c chunkedTuples
+	const n = 3*chunkSize + 17
+	for i := int64(0); i < n; i++ {
+		c.Push(ct(i))
+	}
+	if c.Len() != n {
+		t.Fatalf("Len = %d, want %d", c.Len(), n)
+	}
+	for i := int64(0); i < n; i++ {
+		if got := c.PopHead(); got.TS != i {
+			t.Fatalf("pop %d: TS = %d", i, got.TS)
+		}
+	}
+	if c.Len() != 0 || len(c.pages) != 0 {
+		t.Fatalf("drained deque holds %d elements, %d pages", c.Len(), len(c.pages))
+	}
+}
+
+// TestChunkedInterleaved exercises the rolling window pattern — push one, pop
+// one — across many page turnovers, checking the freelist keeps steady state
+// allocation-free.
+func TestChunkedInterleaved(t *testing.T) {
+	var c chunkedTuples
+	for i := int64(0); i < 50; i++ {
+		c.Push(ct(i))
+	}
+	next := int64(50)
+	head := int64(0)
+	for i := 0; i < 10*chunkSize; i++ {
+		c.Push(ct(next))
+		next++
+		if got := c.PopHead(); got.TS != head {
+			t.Fatalf("pop: TS = %d, want %d", got.TS, head)
+		}
+		head++
+	}
+	if c.Len() != 50 {
+		t.Fatalf("Len = %d, want 50", c.Len())
+	}
+	probe := ct(next)
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Push(probe)
+		c.PopHead()
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state push/pop: %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestChunkedRemoveAt removes elements at the head, middle, tail, and across
+// page boundaries, checking order and tail-page recycling.
+func TestChunkedRemoveAt(t *testing.T) {
+	var c chunkedTuples
+	const n = 2*chunkSize + 5
+	for i := int64(0); i < n; i++ {
+		c.Push(ct(i))
+	}
+	c.RemoveAt(0)           // head
+	c.RemoveAt(chunkSize)   // straddles into page 2
+	c.RemoveAt(c.Len() - 1) // tail
+	want := []int64{}
+	for i := int64(0); i < n; i++ {
+		if i == 0 || i == chunkSize+1 || i == n-1 {
+			continue
+		}
+		want = append(want, i)
+	}
+	if c.Len() != len(want) {
+		t.Fatalf("Len = %d, want %d", c.Len(), len(want))
+	}
+	for i, w := range want {
+		if got := c.At(i).TS; got != w {
+			t.Fatalf("At(%d).TS = %d, want %d", i, got, w)
+		}
+	}
+	// Shrink below one page: tail pages must be recycled.
+	for c.Len() > 3 {
+		c.RemoveAt(c.Len() - 1)
+	}
+	if len(c.pages) != 1 {
+		t.Errorf("tail pages not recycled: %d pages for %d elements", len(c.pages), c.Len())
+	}
+}
+
+// TestChunkedOffsetRemoveAt checks RemoveAt indexing stays correct after the
+// head offset has advanced into a page.
+func TestChunkedOffsetRemoveAt(t *testing.T) {
+	var c chunkedTuples
+	for i := int64(0); i < chunkSize+20; i++ {
+		c.Push(ct(i))
+	}
+	for i := 0; i < 10; i++ {
+		c.PopHead()
+	}
+	c.RemoveAt(5) // logical 5 = TS 15
+	if got := c.At(5).TS; got != 16 {
+		t.Fatalf("At(5).TS = %d, want 16", got)
+	}
+	if got := c.At(0).TS; got != 10 {
+		t.Fatalf("At(0).TS = %d, want 10", got)
+	}
+}
+
+// TestChunkedReset checks Reset empties the deque, recycles pages, and the
+// deque remains usable.
+func TestChunkedReset(t *testing.T) {
+	var c chunkedTuples
+	for i := int64(0); i < 3*chunkSize; i++ {
+		c.Push(ct(i))
+	}
+	c.Reset()
+	if c.Len() != 0 || len(c.pages) != 0 {
+		t.Fatalf("Reset left %d elements, %d pages", c.Len(), len(c.pages))
+	}
+	if len(c.free) == 0 || len(c.free) > maxFreePages {
+		t.Fatalf("freelist holds %d pages, want 1..%d", len(c.free), maxFreePages)
+	}
+	c.Push(ct(99))
+	if c.Len() != 1 || c.At(0).TS != 99 {
+		t.Fatal("deque unusable after Reset")
+	}
+}
+
+// TestChunkedPageClearOnRecycle checks a consumed page is wholly cleared so
+// it does not pin tuple value slices.
+func TestChunkedPageClearOnRecycle(t *testing.T) {
+	var c chunkedTuples
+	for i := int64(0); i < chunkSize+1; i++ {
+		c.Push(ct(i))
+	}
+	for i := 0; i < chunkSize; i++ {
+		c.PopHead() // page 0 fully consumed and recycled on the last pop
+	}
+	if len(c.free) == 0 {
+		t.Fatal("consumed page not recycled")
+	}
+	for _, pg := range c.free {
+		for i := range pg.items {
+			if pg.items[i].Vals != nil {
+				t.Fatal("recycled page still references tuple values")
+			}
+		}
+	}
+}

@@ -6,17 +6,18 @@ import (
 )
 
 // FIFOBuffer stores state whose expiration order equals its insertion order —
-// the weakest non-monotonic (WKS) case of Section 3.1. It is a slice-backed
-// deque: insertions append at the tail, expirations pop from the head, both
-// amortized O(1).
+// the weakest non-monotonic (WKS) case of Section 3.1. It is a paged deque:
+// insertions fill the tail page, expirations pop from the head, and a page is
+// released as one chunk (a single memclr, recycled through a freelist) only
+// when wholly consumed — so steady-state window slide frees no per-tuple
+// slots and allocates nothing.
 //
 // The buffer tolerates inputs whose Exp sequence is not perfectly
 // non-decreasing (e.g. merged streams of slightly different window sizes) by
-// falling back to a head-scan bounded by the first live tuple; for true WKS
-// inputs that scan stops immediately.
+// falling back to a full scan; for true WKS inputs expiration stops at the
+// first live tuple.
 type FIFOBuffer struct {
-	items   []tuple.Tuple
-	head    int
+	items   chunkedTuples
 	touched int64
 	lastExp int64
 	// unsorted is set when an insertion breaks the non-decreasing Exp
@@ -27,6 +28,8 @@ type FIFOBuffer struct {
 	// ExpireUpTo once per maintenance tick to mint negative tuples, so
 	// reusing one buffer removes that per-tick allocation.
 	scratch []tuple.Tuple
+	// keep backs the unsorted path's survivor list across passes.
+	keep []tuple.Tuple
 }
 
 // NewFIFO returns an empty FIFO buffer.
@@ -40,7 +43,7 @@ func (b *FIFOBuffer) Insert(t tuple.Tuple) {
 	} else {
 		b.lastExp = t.Exp
 	}
-	b.items = append(b.items, t)
+	b.items.Push(t)
 }
 
 // ExpireUpTo pops tuples with Exp <= now from the head. If the FIFO
@@ -50,36 +53,37 @@ func (b *FIFOBuffer) Insert(t tuple.Tuple) {
 func (b *FIFOBuffer) ExpireUpTo(now int64) []tuple.Tuple {
 	out := b.scratch[:0]
 	if b.unsorted {
-		kept := b.items[:b.head]
-		for i := b.head; i < len(b.items); i++ {
+		kept := b.keep[:0]
+		n := b.items.Len()
+		for i := 0; i < n; i++ {
 			b.touched++
-			if b.items[i].Exp <= now {
-				out = append(out, b.items[i])
+			t := *b.items.At(i)
+			if t.Exp <= now {
+				out = append(out, t)
 			} else {
-				kept = append(kept, b.items[i])
+				kept = append(kept, t)
 			}
 		}
-		for i := len(kept); i < len(b.items); i++ {
-			b.items[i] = tuple.Tuple{}
+		if len(out) > 0 {
+			b.items.Reset()
+			for _, t := range kept {
+				b.items.Push(t)
+			}
 		}
-		b.items = kept
-		b.compact()
+		b.keep = kept
 		if len(out) > 1 {
 			sortExpired(out)
 		}
 		b.scratch = out
 		return out
 	}
-	for b.head < len(b.items) {
+	for b.items.Len() > 0 {
 		b.touched++
-		if b.items[b.head].Exp > now {
+		if b.items.At(0).Exp > now {
 			break
 		}
-		out = append(out, b.items[b.head])
-		b.items[b.head] = tuple.Tuple{} // release
-		b.head++
+		out = append(out, b.items.PopHead())
 	}
-	b.compact()
 	// out is already Exp-ordered (the FIFO invariant held); the sort only
 	// settles TS ties, so skip it for the common 0/1-tuple pops.
 	if len(out) > 1 {
@@ -94,15 +98,17 @@ func (b *FIFOBuffer) ExpireUpTo(now int64) []tuple.Tuple {
 // original tuple's Exp, which disambiguates value twins).
 func (b *FIFOBuffer) Remove(t tuple.Tuple) bool {
 	at := -1
-	for i := b.head; i < len(b.items); i++ {
+	n := b.items.Len()
+	for i := 0; i < n; i++ {
 		b.touched++
-		if !b.items[i].SameVals(t) {
+		c := b.items.At(i)
+		if !c.SameVals(t) {
 			continue
 		}
 		if at < 0 {
 			at = i
 		}
-		if b.items[i].Exp == t.Exp {
+		if c.Exp == t.Exp {
 			at = i
 			break
 		}
@@ -110,56 +116,42 @@ func (b *FIFOBuffer) Remove(t tuple.Tuple) bool {
 	if at < 0 {
 		return false
 	}
-	copy(b.items[at:], b.items[at+1:])
-	b.items[len(b.items)-1] = tuple.Tuple{}
-	b.items = b.items[:len(b.items)-1]
+	b.items.RemoveAt(at)
 	return true
 }
 
 // Scan visits stored tuples in insertion order.
 func (b *FIFOBuffer) Scan(fn func(t tuple.Tuple) bool) {
-	for i := b.head; i < len(b.items); i++ {
+	n := b.items.Len()
+	for i := 0; i < n; i++ {
 		b.touched++
-		if !fn(b.items[i]) {
+		if !fn(*b.items.At(i)) {
 			return
 		}
 	}
 }
 
 // Len returns the number of stored tuples.
-func (b *FIFOBuffer) Len() int { return len(b.items) - b.head }
+func (b *FIFOBuffer) Len() int { return b.items.Len() }
 
 // Touched returns cumulative tuple visits.
 func (b *FIFOBuffer) Touched() int64 { return b.touched }
-
-// compact reclaims the consumed prefix once it dominates the backing array.
-func (b *FIFOBuffer) compact() {
-	if b.head == len(b.items) {
-		b.items = b.items[:0]
-		b.head = 0
-		return
-	}
-	if b.head > 64 && b.head > len(b.items)/2 {
-		n := copy(b.items, b.items[b.head:])
-		for i := n; i < len(b.items); i++ {
-			b.items[i] = tuple.Tuple{}
-		}
-		b.items = b.items[:n]
-		b.head = 0
-	}
-}
 
 // Kind identifies the buffer implementation (KindFIFO).
 func (b *FIFOBuffer) Kind() Kind { return KindFIFO }
 
 // SaveState implements checkpoint.Snapshotter: cost counter, the FIFO
-// invariant flags, then the live tuples in insertion order. The consumed
-// head prefix is dropped — it is dead state.
+// invariant flags, then the live tuples in insertion order — the same wire
+// layout as Encoder.Tuples, element-walked because the deque is paged.
 func (b *FIFOBuffer) SaveState(enc *checkpoint.Encoder) error {
 	enc.Varint(b.touched)
 	enc.Varint(b.lastExp)
 	enc.Bool(b.unsorted)
-	enc.Tuples(b.items[b.head:])
+	enc.Uvarint(uint64(b.items.Len()))
+	b.items.Scan(func(t tuple.Tuple) bool {
+		enc.Tuple(t)
+		return true
+	})
 	return enc.Err()
 }
 
@@ -168,7 +160,9 @@ func (b *FIFOBuffer) LoadState(dec *checkpoint.Decoder) error {
 	b.touched = dec.Varint()
 	b.lastExp = dec.Varint()
 	b.unsorted = dec.Bool()
-	b.items = dec.Tuples()
-	b.head = 0
+	b.items.Reset()
+	for _, t := range dec.Tuples() {
+		b.items.Push(t)
+	}
 	return dec.Err()
 }

@@ -13,19 +13,32 @@ import (
 // and the NT hash (O(1) probe but retirement only via doubled tuple
 // traffic).
 //
+// The arrival queue is a paged deque: head-pops release storage a whole
+// chunk at a time (see chunkedTuples), so window slide never frees or zeroes
+// per-tuple slots.
+//
 // Retractions may remove tuples out of FIFO order; the queue keeps a stale
 // entry that is skipped when it surfaces, so Remove stays O(bucket).
 type IndexedFIFO struct {
-	hash    *HashBuffer
-	queue   []tuple.Tuple // arrival order; may contain already-removed entries
-	head    int
+	hash  *HashBuffer
+	queue chunkedTuples // arrival order; may contain already-removed entries
+	// ring mirrors queue: a pointer to the hash bucket each queued tuple was
+	// inserted into, taken once at insert so expiry-time index removal skips
+	// key rendering, hashing, AND the map lookup (together the dominant cost
+	// of sorted expiration). A retraction may retire — and the freelist
+	// recycle — a bucket while its ring entry is still queued; removeExactIn's
+	// full value-and-expiration comparison then matches nothing foreign, which
+	// is the same stale-entry contract the queue already carries.
+	ring    bkRing
 	lastExp int64
 	// unsorted is set when insertions break the non-decreasing Exp
 	// invariant (e.g. a union of windows with different sizes); expiration
 	// then falls back to scanning the index so the Buffer contract holds.
 	unsorted bool
-	// scratch backs ExpireUpTo's result slice across passes.
+	// scratch backs ExpireUpTo's result slice across passes; keep backs the
+	// unsorted prune's survivor list.
 	scratch []tuple.Tuple
+	keep    []tuple.Tuple
 }
 
 // NewIndexedFIFO builds an indexed FIFO keyed on the given columns.
@@ -35,13 +48,7 @@ func NewIndexedFIFO(keyCols []int) *IndexedFIFO {
 
 // Insert stores t.
 func (b *IndexedFIFO) Insert(t tuple.Tuple) {
-	if t.Exp < b.lastExp {
-		b.unsorted = true
-	} else {
-		b.lastExp = t.Exp
-	}
-	b.hash.Insert(t)
-	b.queue = append(b.queue, t)
+	b.insertHashed(t.Key(b.hash.keyCols).Hash64(), t)
 }
 
 // KeyCols returns the index's key column positions.
@@ -49,13 +56,25 @@ func (b *IndexedFIFO) KeyCols() []int { return b.hash.KeyCols() }
 
 // InsertKeyed implements KeyedInserter (see HashBuffer.InsertKeyed).
 func (b *IndexedFIFO) InsertKeyed(k tuple.Key, t tuple.Tuple) {
+	b.insertHashed(k.Hash64(), t)
+}
+
+// InsertHashed implements HashedBuffer (see HashBuffer.InsertHashed).
+func (b *IndexedFIFO) InsertHashed(h uint64, t tuple.Tuple) {
+	b.insertHashed(h, t)
+}
+
+// insertHashed stores t under its precomputed key digest, recording the
+// target bucket beside the queue entry for expiry.
+func (b *IndexedFIFO) insertHashed(h uint64, t tuple.Tuple) {
 	if t.Exp < b.lastExp {
 		b.unsorted = true
 	} else {
 		b.lastExp = t.Exp
 	}
-	b.hash.InsertKeyed(k, t)
-	b.queue = append(b.queue, t)
+	bk := b.hash.insertHashed(h, t)
+	b.queue.Push(t)
+	b.ring.Push(bk)
 }
 
 // ExpireUpTo pops due tuples from the queue head, removing each from the
@@ -67,33 +86,39 @@ func (b *IndexedFIFO) ExpireUpTo(now int64) []tuple.Tuple {
 	if b.unsorted {
 		out := b.hash.ExpireUpTo(now)
 		// Queue entries for the expired tuples are now stale; prune once
-		// staleness dominates so the queue cannot grow without bound.
-		if len(b.queue)-b.head > 2*b.hash.Len()+64 {
-			b.queue = append(b.queue[:0:0], b.queue[b.head:]...)
-			b.head = 0
-			kept := b.queue[:0]
-			for _, t := range b.queue {
-				if t.Exp > now {
+		// staleness dominates so the queue cannot grow without bound. The
+		// bucket ring is rebuilt alongside (recomputing keys and looking the
+		// buckets back up — the prune is rare and the sorted fast path never
+		// runs again once unsorted); a survivor whose tuple was since removed
+		// maps to a nil ring entry, which expiry skips.
+		if b.queue.Len() > 2*b.hash.Len()+64 {
+			kept := b.keep[:0]
+			n := b.queue.Len()
+			for i := 0; i < n; i++ {
+				if t := *b.queue.At(i); t.Exp > now {
 					kept = append(kept, t)
 				}
 			}
-			b.queue = kept
+			b.queue.Reset()
+			b.ring.Reset()
+			for _, t := range kept {
+				b.queue.Push(t)
+				b.ring.Push(b.hash.buckets[t.Key(b.hash.keyCols).Hash64()])
+			}
+			b.keep = kept
 		}
 		return out
 	}
 	out := b.scratch[:0]
-	for b.head < len(b.queue) {
-		t := b.queue[b.head]
-		if t.Exp > now {
+	for b.queue.Len() > 0 {
+		if b.queue.At(0).Exp > now {
 			break
 		}
-		b.queue[b.head] = tuple.Tuple{}
-		b.head++
-		if b.hash.removeExact(t) {
+		t := b.queue.PopHead()
+		if bk := b.ring.PopHead(); bk != nil && b.hash.removeExactIn(bk, t) {
 			out = append(out, t)
 		}
 	}
-	b.compact()
 	if len(out) > 1 {
 		sortExpired(out)
 	}
@@ -113,6 +138,11 @@ func (b *IndexedFIFO) ProbeAppend(k tuple.Key, now int64, dst []tuple.Tuple) []t
 	return b.hash.ProbeAppend(k, now, dst)
 }
 
+// ProbeAppendHashed implements HashedBuffer (see HashBuffer.ProbeAppendHashed).
+func (b *IndexedFIFO) ProbeAppendHashed(h uint64, k tuple.Key, now int64, dst []tuple.Tuple) []tuple.Tuple {
+	return b.hash.ProbeAppendHashed(h, k, now, dst)
+}
+
 // Scan visits every stored tuple.
 func (b *IndexedFIFO) Scan(fn func(t tuple.Tuple) bool) { b.hash.Scan(fn) }
 
@@ -122,40 +152,45 @@ func (b *IndexedFIFO) Len() int { return b.hash.Len() }
 // Touched returns cumulative tuple visits.
 func (b *IndexedFIFO) Touched() int64 { return b.hash.Touched() }
 
-func (b *IndexedFIFO) compact() {
-	if b.head == len(b.queue) {
-		b.queue = b.queue[:0]
-		b.head = 0
-		return
-	}
-	if b.head > 64 && b.head > len(b.queue)/2 {
-		n := copy(b.queue, b.queue[b.head:])
-		for i := n; i < len(b.queue); i++ {
-			b.queue[i] = tuple.Tuple{}
-		}
-		b.queue = b.queue[:n]
-		b.head = 0
-	}
-}
-
 // Kind identifies the buffer implementation (KindIndexedFIFO).
 func (b *IndexedFIFO) Kind() Kind { return KindIndexedFIFO }
 
 // SaveState implements checkpoint.Snapshotter: the FIFO invariant flags, the
-// queue suffix (including stale entries — they are part of the structure's
-// exact state), then the hash index section.
+// queue (including stale entries — they are part of the structure's exact
+// state) in Encoder.Tuples wire layout, then the hash index section.
 func (b *IndexedFIFO) SaveState(enc *checkpoint.Encoder) error {
 	enc.Varint(b.lastExp)
 	enc.Bool(b.unsorted)
-	enc.Tuples(b.queue[b.head:])
+	enc.Uvarint(uint64(b.queue.Len()))
+	b.queue.Scan(func(t tuple.Tuple) bool {
+		enc.Tuple(t)
+		return true
+	})
 	return b.hash.SaveState(enc)
 }
 
-// LoadState implements checkpoint.Snapshotter.
+// LoadState implements checkpoint.Snapshotter. The bucket ring is not
+// serialized; after the hash section restores the index, each restored queue
+// entry is pointed back at its current bucket (nil for stale entries whose
+// tuple is no longer stored — expiry skips those).
 func (b *IndexedFIFO) LoadState(dec *checkpoint.Decoder) error {
 	b.lastExp = dec.Varint()
 	b.unsorted = dec.Bool()
-	b.queue = dec.Tuples()
-	b.head = 0
-	return b.hash.LoadState(dec)
+	b.queue.Reset()
+	b.ring.Reset()
+	for _, t := range dec.Tuples() {
+		b.queue.Push(t)
+	}
+	if err := b.hash.LoadState(dec); err != nil {
+		// A truncated stream can leave zero tuples in the queue whose key
+		// columns would index out of range; the caller discards this state on
+		// error, so do not key them.
+		return err
+	}
+	n := b.queue.Len()
+	for i := 0; i < n; i++ {
+		t := b.queue.At(i)
+		b.ring.Push(b.hash.buckets[t.Key(b.hash.keyCols).Hash64()])
+	}
+	return dec.Err()
 }

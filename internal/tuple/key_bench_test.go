@@ -87,6 +87,67 @@ func TestKeyWideEquivalence(t *testing.T) {
 	}
 }
 
+// TestKeyMatchesWideZeroAllocs pins the satellite fix: verifying a tuple
+// against a wide (>3 column) key compares incrementally against the packed
+// rendering instead of re-deriving a second rendering, so keyed-view lookups
+// on wide keys allocate nothing per visit.
+func TestKeyMatchesWideZeroAllocs(t *testing.T) {
+	for _, width := range []int{4, 8} {
+		tup := benchTuple(width)
+		cols := seqCols(width)
+		k := tup.Key(cols)
+		allocs := testing.AllocsPerRun(1000, func() {
+			if !tup.KeyMatches(cols, k) {
+				t.Fatal("key must match itself")
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("KeyMatches over %d columns: %v allocs/op, want 0", width, allocs)
+		}
+	}
+}
+
+// TestKeyMatchesWideEquivalence cross-checks the incremental wide comparison
+// against the reference definition (render both keys, compare ==) over
+// tuples that agree, disagree per column, and collide canonically.
+func TestKeyMatchesWideEquivalence(t *testing.T) {
+	cols := seqCols(4)
+	base := Tuple{Vals: []Value{Int(7), String_("ftp"), Float(2.5), Null}}
+	cases := []Tuple{
+		base,
+		{Vals: []Value{Float(7), String_("ftp"), Float(2.5), Null}}, // integral float ≡ int
+		{Vals: []Value{Int(8), String_("ftp"), Float(2.5), Null}},
+		{Vals: []Value{Int(7), String_("ftps"), Float(2.5), Null}},
+		{Vals: []Value{Int(7), String_("ft"), Float(2.5), Null}},
+		{Vals: []Value{Int(7), String_("ftp"), Float(2.25), Null}},
+		{Vals: []Value{Int(7), String_("ftp"), Float(2.5), Int(0)}},
+		{Vals: []Value{Int(7), String_("ftp\x1f2.5/2\x1fNULL"), Float(2.5), Null}}, // separator injection
+	}
+	k := base.Key(cols)
+	for i, tc := range cases {
+		want := tc.Key(cols) == k
+		if got := tc.KeyMatches(cols, k); got != want {
+			t.Errorf("case %d: KeyMatches = %v, reference = %v", i, got, want)
+		}
+	}
+}
+
+func BenchmarkKeyMatchesWide(b *testing.B) {
+	for _, width := range []int{4, 8} {
+		tup := benchTuple(width)
+		cols := seqCols(width)
+		k := tup.Key(cols)
+		b.Run(fmt.Sprintf("cols%d", width), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if !tup.KeyMatches(cols, k) {
+					b.Fatal("key must match itself")
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkKey(b *testing.B) {
 	for _, width := range []int{1, 2, 3, 4, 8} {
 		tup := benchTuple(width)

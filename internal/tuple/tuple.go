@@ -85,31 +85,44 @@ func (t Tuple) Key(cols []int) Key {
 		// Builder.String hands over its buffer without copying.
 		var b strings.Builder
 		b.Grow(16 * len(cols))
-		var num [40]byte // scratch for numeric renderings, stays on the stack
+		var num [48]byte // scratch for one part's rendering, stays on the stack
 		for i, c := range cols {
 			if i > 0 {
 				b.WriteByte('\x1f')
 			}
 			v := canonical(t.Vals[c])
-			switch v.Kind {
-			case KindNull:
-				b.WriteString("NULL")
-			case KindInt:
-				b.Write(strconv.AppendInt(num[:0], v.I, 10))
-			case KindFloat:
-				b.Write(strconv.AppendFloat(num[:0], v.F, 'g', -1, 64))
-			case KindString:
+			if v.Kind == KindString {
+				// Write the string directly: copying it through the fixed
+				// scratch would truncate long values.
 				b.WriteString(v.S)
-			default:
-				b.WriteByte('?')
-				b.Write(strconv.AppendUint(num[:0], uint64(v.Kind), 10))
+				b.WriteString("/3")
+				continue
 			}
-			b.WriteByte('/')
-			b.Write(strconv.AppendUint(num[:0], uint64(v.Kind), 10))
+			b.Write(appendKeyPart(num[:0], v))
 		}
 		k.wide = b.String()
 	}
 	return k
+}
+
+// appendKeyPart renders one non-string canonical value in the wide-key
+// format — the value rendering, '/', and the kind digit — appending to dst.
+// Key's wide rendering and KeyMatches' wide comparison both build parts
+// through it, so they can never disagree byte for byte.
+func appendKeyPart(dst []byte, v Value) []byte {
+	switch v.Kind {
+	case KindNull:
+		dst = append(dst, "NULL"...)
+	case KindInt:
+		dst = strconv.AppendInt(dst, v.I, 10)
+	case KindFloat:
+		dst = strconv.AppendFloat(dst, v.F, 'g', -1, 64)
+	default:
+		dst = append(dst, '?')
+		dst = strconv.AppendUint(dst, uint64(v.Kind), 10)
+	}
+	dst = append(dst, '/')
+	return strconv.AppendUint(dst, uint64(v.Kind), 10)
 }
 
 // canonical maps Equal values onto ==-equal representations.
@@ -150,12 +163,40 @@ func (k Key) String() string {
 // KeyMatches reports whether t's key over cols equals k, without building
 // (and copying) a second composite Key — the per-visit verification hash
 // buffers need once their buckets are addressed by Key.Hash64 digests.
+//
+// The wide (>3 column) form compares incrementally against k's packed
+// rendering instead of re-deriving a second rendering: each column's part is
+// rendered into stack scratch (strings compare in place) and matched as a
+// prefix, so keyed lookups on wide keys allocate nothing.
 func (t Tuple) KeyMatches(cols []int, k Key) bool {
 	if len(cols) != k.n {
 		return false
 	}
 	if k.n > 3 {
-		return t.Key(cols) == k
+		rest := k.wide
+		var num [48]byte
+		for i, c := range cols {
+			if i > 0 {
+				if len(rest) == 0 || rest[0] != '\x1f' {
+					return false
+				}
+				rest = rest[1:]
+			}
+			v := canonical(t.Vals[c])
+			if v.Kind == KindString {
+				if len(rest) < len(v.S)+2 || rest[:len(v.S)] != v.S || rest[len(v.S):len(v.S)+2] != "/3" {
+					return false
+				}
+				rest = rest[len(v.S)+2:]
+				continue
+			}
+			part := appendKeyPart(num[:0], v)
+			if len(rest) < len(part) || rest[:len(part)] != string(part) {
+				return false
+			}
+			rest = rest[len(part):]
+		}
+		return len(rest) == 0
 	}
 	for i, c := range cols {
 		if canonical(t.Vals[c]) != k.v[i] {

@@ -147,6 +147,28 @@ func (w *Window) Arrive(t tuple.Tuple) (stamped tuple.Tuple, evicted []tuple.Tup
 	return stamped, evicted, nil
 }
 
+// StampRun admits a whole run of n same-timestamp arrivals at once,
+// returning the expiration timestamp every tuple in the run receives — the
+// vectorized form of per-tuple Arrive for the columnar ingest path, which
+// stamps the Exp column in one pass. It is only valid for non-materialized
+// windows (the columnar path is ruled out when any window materializes):
+// materialized contents and count-based eviction still require per-tuple
+// Arrive.
+func (w *Window) StampRun(ts int64, n int) (int64, error) {
+	if w.buf != nil {
+		return 0, fmt.Errorf("window: StampRun on a materialized window")
+	}
+	if ts < w.lastTS {
+		return 0, fmt.Errorf("window: non-decreasing timestamps required (got %d after %d)", ts, w.lastTS)
+	}
+	w.lastTS = ts
+	w.count += int64(n)
+	if w.spec.Type == TimeBased && w.spec.Size > 0 {
+		return ts + w.spec.Size, nil
+	}
+	return tuple.NeverExpires, nil
+}
+
 func (w *Window) evictOldest(n int64) []tuple.Tuple {
 	out := w.scratch[:0]
 	for i := int64(0); i < n; i++ {
