@@ -9,6 +9,7 @@
 //	upabench -exp e1a,e3a    # run a subset
 //	upabench -json > out.json  # machine-readable results (see BENCH_PR2.json)
 //	upabench -metrics-addr :9090  # expose the in-progress run's metrics
+//	upabench -health         # monitor every run's health, report alert transitions
 //	upabench -list           # list experiment ids
 package main
 
@@ -30,8 +31,13 @@ func main() {
 	note := flag.String("note", "", "free-form caveat embedded in the -json report")
 	shardCounts := flag.String("shards", "", "comma-separated shard counts for the e9 sweep (default 1,2,4,8)")
 	metricsAddr := flag.String("metrics-addr", "", "serve the in-progress run's metrics/pprof on this address (e.g. :9090)")
+	health := flag.Bool("health", false, "monitor every run with the engine's built-in health rules and report alert transitions at exit")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()
+
+	if *health {
+		bench.EnableHealth()
+	}
 
 	if *metricsAddr != "" {
 		bench.EnableLiveMetrics()
@@ -54,6 +60,15 @@ func main() {
 	if err := run(*scale, *exps, *list, *jsonOut, *note); err != nil {
 		fmt.Fprintln(os.Stderr, "upabench:", err)
 		os.Exit(1)
+	}
+	if *health {
+		alerts := bench.DrainAlertLog()
+		if len(alerts) == 0 {
+			fmt.Fprintln(os.Stderr, "health: no alert transitions across all runs")
+		}
+		for _, line := range alerts {
+			fmt.Fprintln(os.Stderr, "health:", line)
+		}
 	}
 }
 

@@ -13,6 +13,7 @@
 //	upaquery -cql "SELECT DISTINCT src FROM S0 [RANGE 2000]" -links 1
 //	upaquery -query q3 -strategy nt -metrics-addr :9090 -trace-out events.jsonl
 //	upaquery -query q1-ftp -strategy upa -latency
+//	upaquery -query q1-ftp -strategy upa -health -slo-p99 5ms
 //	upaquery -query q1-ftp -trace-out spans.jsonl -trace-sample 1000
 //	upaquery -query q1-ftp -checkpoint-dir ./state -checkpoint-every 100000
 //	upaquery -list
@@ -29,7 +30,17 @@
 //
 // -latency records every output delta's ingest→emit latency and prints a
 // percentile table plus the update-pattern conformance verdict (declared vs
-// observed class per operator) at exit. -trace-sample N additionally traces
+// observed class per operator) at exit.
+//
+// -health runs the self-monitoring subsystem during the run: a history
+// sampler over the engine's registry plus the built-in health rules
+// (pattern violations, premature expirations, shard backpressure, staleness
+// lag, checkpoint age, and — with -slo-p99 — the delta-latency p99 SLO).
+// Alert transitions print to stderr as they fire, a final per-rule report
+// prints at exit, and a CRIT overall verdict exits with code 2. With
+// -metrics-addr the live status is served at /debug/health (JSON, or HTML
+// with ?format=html) and retained series windows at
+// /debug/history?series=NAME. -trace-sample N additionally traces
 // one in N arrivals through the plan as per-operator EvDeltaSpan events on
 // the -trace-out sink; keep N large on hot streams.
 //
@@ -44,6 +55,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
@@ -90,6 +102,9 @@ func main() {
 	explain := flag.Bool("explain", false, "print the annotated physical plan (EXPLAIN) and exit")
 	analyze := flag.Bool("analyze", false, "after the run, print the plan with live per-operator counters (EXPLAIN ANALYZE)")
 	latency := flag.Bool("latency", false, "record ingest-to-emit delta latency and print percentiles plus the conformance verdict at exit")
+	health := flag.Bool("health", false, "run the self-monitoring health subsystem (built-in rules, alert log on stderr, final report; exit code 2 on CRIT)")
+	sloP99 := flag.Duration("slo-p99", 0, "delta-latency p99 SLO for the built-in health rule (e.g. 5ms; implies -health)")
+	healthInterval := flag.Duration("health-interval", 200*time.Millisecond, "health sampling cadence")
 	traceSample := flag.Int("trace-sample", 0, "trace one in N arrivals as per-operator spans (EvDeltaSpan events on -trace-out; 0 disables)")
 	checkpointDir := flag.String("checkpoint-dir", "", "checkpoint into this directory and resume from an existing checkpoint on start")
 	checkpointEvery := flag.Int("checkpoint-every", 0, "also checkpoint every N processed tuples (0: only a final checkpoint)")
@@ -112,15 +127,26 @@ func main() {
 	}
 	if err := run(*query, *cqlText, *links, *strategy, *windowSize, *duration, *traceFile,
 		*partitions, *shards, *metricsAddr, *traceOut, *progressEvery, *explain, *analyze,
-		*latency, *traceSample, *checkpointDir, *checkpointEvery, *maxTuples, *dumpView); err != nil {
+		*latency, *health, *sloP99, *healthInterval, *traceSample, *checkpointDir,
+		*checkpointEvery, *maxTuples, *dumpView); err != nil {
 		fmt.Fprintln(os.Stderr, "upaquery:", err)
+		if errors.Is(err, errHealthCrit) {
+			os.Exit(2)
+		}
 		os.Exit(1)
 	}
 }
 
+// errHealthCrit maps a CRIT final health verdict to exit code 2, so
+// scripted callers can tell "the run failed" from "the run finished but
+// the engine is unhealthy".
+var errHealthCrit = errors.New("health is CRIT")
+
 func run(queryName, cqlText string, cqlLinks int, strategyName string, windowSize, duration int64,
 	traceFile string, partitions, shards int, metricsAddr, traceOut string, progressEvery time.Duration,
-	explain, analyze, latency bool, traceSample int, checkpointDir string, checkpointEvery, maxTuples int, dumpView string) error {
+	explain, analyze, latency, healthOn bool, sloP99, healthInterval time.Duration, traceSample int,
+	checkpointDir string, checkpointEvery, maxTuples int, dumpView string) error {
+	healthOn = healthOn || sloP99 > 0
 	var q bench.Query
 	var root *plan.Node
 	nLinks := 0
@@ -182,9 +208,10 @@ func run(queryName, cqlText string, cqlLinks int, strategyName string, windowSiz
 	cfg := exec.Config{EagerInterval: 1, LazyInterval: lazy}
 
 	var reg *obs.Registry
-	if metricsAddr != "" || latency {
-		// -latency needs the registry too: delta-latency histograms (like all
-		// wall-clock instruments) record only when Config.Metrics is set.
+	if metricsAddr != "" || latency || healthOn {
+		// -latency and -health need the registry too: delta-latency
+		// histograms (like all wall-clock instruments) record only when
+		// Config.Metrics is set, and health rules read registered series.
 		reg = obs.NewRegistry()
 		cfg.Metrics = reg
 	}
@@ -220,6 +247,27 @@ func run(queryName, cqlText string, cqlLinks int, strategyName string, windowSiz
 		if err != nil {
 			return err
 		}
+	}
+	var healthMon *obs.Health
+	if healthOn {
+		hist := obs.NewHistory(reg, obs.HistoryConfig{Interval: healthInterval})
+		hist.BeforeSample(obs.RegisterProcessMetrics(reg))
+		slo := exec.HealthSLO{DeltaP99: sloP99}
+		var rules []obs.Rule
+		if sh != nil {
+			rules = sh.HealthRules(slo)
+		} else {
+			rules = seq.HealthRules(slo)
+		}
+		healthMon = obs.NewHealth(hist, rules...)
+		healthMon.AddSink(obs.NewLogAlertSink(os.Stderr))
+		// Baseline tick before ingest: each series' first sample records a
+		// zero delta, so without this a run shorter than the sampling
+		// interval would fold its whole activity into the baseline and the
+		// final report would see nothing.
+		healthMon.Tick()
+		healthMon.Start()
+		defer healthMon.Stop()
 	}
 	explainTree := func(an bool) *plan.ExplainTree {
 		if sh != nil {
@@ -258,12 +306,14 @@ func run(queryName, cqlText string, cqlLinks int, strategyName string, windowSiz
 				_ = exec.WriteConformance(w, profiles())
 			},
 		}
-		srv, err := obs.Serve(metricsAddr, reg, planPage, confPage)
+		pages := []obs.Page{planPage, confPage,
+			obs.HealthPage(healthMon), obs.HistoryPage(healthMon.History())}
+		srv, err := obs.Serve(metricsAddr, reg, pages...)
 		if err != nil {
 			return fmt.Errorf("metrics endpoint: %w", err)
 		}
 		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "serving metrics on http://%s/metrics (plan at /debug/plan, conformance at /debug/conformance, pprof at /debug/pprof/)\n", srv.Addr())
+		fmt.Fprintf(os.Stderr, "serving metrics on http://%s/metrics (plan at /debug/plan, conformance at /debug/conformance, health at /debug/health, history at /debug/history, pprof at /debug/pprof/)\n", srv.Addr())
 	}
 
 	engStats := func() exec.Stats {
@@ -484,6 +534,19 @@ func run(queryName, cqlText string, cqlLinks int, strategyName string, windowSiz
 		fmt.Println()
 		if err := exec.WriteConformance(os.Stdout, profiles()); err != nil {
 			return err
+		}
+	}
+	if healthOn {
+		// Stop the wall-clock sampler first, then force one final tick so
+		// even runs shorter than the interval report samples >= 1 and an
+		// up-to-date verdict.
+		healthMon.Stop()
+		healthMon.Tick()
+		hst := healthMon.Status()
+		fmt.Println()
+		hst.WriteText(os.Stdout)
+		if hst.Overall == obs.SevCrit {
+			return errHealthCrit
 		}
 	}
 	if dumpView != "" {

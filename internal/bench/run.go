@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -29,6 +30,72 @@ func EnableLiveMetrics() { liveExpose.Store(true) }
 // before the first). Hand it to obs.ServeFunc for a live endpoint that
 // follows sequential experiment runs.
 func LiveMetrics() *obs.Registry { return liveMetrics.Load() }
+
+// Health monitoring across runs: when enabled, every Run attaches the
+// engine's built-in health rules to a manual-tick history sampler (ticked
+// every healthTickEvery tuples so fast runs still evaluate), records alert
+// transitions on the Result, and appends a formatted line per transition
+// to a package log upabench drains at exit.
+var (
+	healthEnable atomic.Bool
+	alertLogMu   sync.Mutex
+	alertLog     []string
+)
+
+// EnableHealth makes every subsequent Run monitor engine health and record
+// alert transitions (see Result.Alerts).
+func EnableHealth() { healthEnable.Store(true) }
+
+// DrainAlertLog returns and clears the formatted alert-transition lines
+// accumulated by health-monitored runs.
+func DrainAlertLog() []string {
+	alertLogMu.Lock()
+	defer alertLogMu.Unlock()
+	out := alertLog
+	alertLog = nil
+	return out
+}
+
+func logAlert(q Query, rc RunConfig, t obs.Transition) {
+	line := fmt.Sprintf("%v/%v w=%d shards=%d: %s %s -> %s (value %.6g)",
+		q, rc.Strategy, rc.Window, rc.Shards, t.Rule, t.From, t.To, t.Value)
+	alertLogMu.Lock()
+	alertLog = append(alertLog, line)
+	alertLogMu.Unlock()
+}
+
+// healthTickEvery is how many ingested tuples pass between manual health
+// ticks during a monitored run (plus one final tick after Sync).
+const healthTickEvery = 4096
+
+// runHealth is one run's health monitor: manual ticks only, transitions
+// collected in order.
+type runHealth struct {
+	mon    *obs.Health
+	alerts []obs.Transition
+}
+
+func newRunHealth(q Query, rc RunConfig, rules []obs.Rule) *runHealth {
+	rh := &runHealth{}
+	hist := obs.NewHistory(rc.Metrics, obs.HistoryConfig{})
+	rh.mon = obs.NewHealth(hist, rules...)
+	rh.mon.AddSink(obs.AlertFunc(func(t obs.Transition) {
+		rh.alerts = append(rh.alerts, t)
+		logAlert(q, rc, t)
+	}))
+	rh.mon.Tick() // baseline: deltas start at the run's first tuple
+	return rh
+}
+
+// finish takes the final tick and fills the Result's health fields.
+func (rh *runHealth) finish(r *Result) {
+	if rh == nil {
+		return
+	}
+	rh.mon.Tick()
+	r.Alerts = rh.alerts
+	r.HealthSeverity = rh.mon.Overall().String()
+}
 
 // RunConfig parameterizes one measured run.
 type RunConfig struct {
@@ -61,6 +128,11 @@ type RunConfig struct {
 	// shards with batched ingest (DESIGN.md "Sharded execution"), falling
 	// back to one shard when the plan admits no routing key.
 	Shards int
+	// Health monitors the run with the engine's built-in health rules
+	// (manual ticks every healthTickEvery tuples) and records alert
+	// transitions on the Result. Implies a metrics registry. EnableHealth
+	// turns it on for every run.
+	Health bool
 }
 
 // shardFeedBatch is how many arrivals a sharded run hands to PushBatch at
@@ -81,7 +153,10 @@ func (rc RunConfig) withDefaults() RunConfig {
 	if rc.Seed == 0 {
 		rc.Seed = 42
 	}
-	if rc.Metrics == nil && liveExpose.Load() {
+	if healthEnable.Load() {
+		rc.Health = true
+	}
+	if rc.Metrics == nil && (liveExpose.Load() || rc.Health) {
 		rc.Metrics = obs.NewRegistry()
 	}
 	if rc.Metrics != nil {
@@ -137,6 +212,12 @@ type Result struct {
 	// that exceeded their operator's declared update-pattern class; zero on
 	// a conformant run.
 	Violations int64
+	// Alerts are the health monitor's alert transitions during the run and
+	// HealthSeverity its final overall verdict ("OK"/"WARN"/"CRIT");
+	// populated only when the run was health-monitored (RunConfig.Health or
+	// EnableHealth).
+	Alerts         []obs.Transition
+	HealthSeverity string
 }
 
 // AllocsPerOp returns heap allocations per input tuple (benchmark-style
@@ -198,6 +279,10 @@ func Run(q Query, rc RunConfig) (Result, error) {
 	if err != nil {
 		return Result{}, fmt.Errorf("bench %v: %w", q, err)
 	}
+	var rh *runHealth
+	if rc.Health {
+		rh = newRunHealth(q, rc, eng.HealthRules(exec.HealthSLO{}))
+	}
 	var m0 runtime.MemStats
 	runtime.ReadMemStats(&m0)
 	start := time.Now()
@@ -211,6 +296,9 @@ func Run(q Query, rc RunConfig) (Result, error) {
 			return Result{}, fmt.Errorf("bench %v: push: %w", q, err)
 		}
 		n++
+		if rh != nil && n%healthTickEvery == 0 {
+			rh.mon.Tick()
+		}
 	}
 	if err := eng.Sync(); err != nil {
 		return Result{}, fmt.Errorf("bench %v: sync: %w", q, err)
@@ -221,7 +309,7 @@ func Run(q Query, rc RunConfig) (Result, error) {
 
 	st := eng.Stats()
 	latPos, latNeg := eng.DeltaLatency()
-	return Result{
+	res := Result{
 		Query:           q,
 		Strategy:        rc.Strategy,
 		Window:          rc.Window,
@@ -242,7 +330,9 @@ func Run(q Query, rc RunConfig) (Result, error) {
 		LatencyPos:      latPos,
 		LatencyNeg:      latNeg,
 		Violations:      eng.Violations(),
-	}, nil
+	}
+	rh.finish(&res)
+	return res, nil
 }
 
 // runSharded measures a key-partitioned run: arrivals are handed to the
@@ -255,6 +345,10 @@ func runSharded(q Query, rc RunConfig, phys *plan.Physical, cfg exec.Config, gen
 	}
 	defer sh.Close()
 
+	var rh *runHealth
+	if rc.Health {
+		rh = newRunHealth(q, rc, sh.HealthRules(exec.HealthSLO{}))
+	}
 	var m0 runtime.MemStats
 	runtime.ReadMemStats(&m0)
 	start := time.Now()
@@ -272,6 +366,9 @@ func runSharded(q Query, rc RunConfig, phys *plan.Physical, cfg exec.Config, gen
 			}
 			batch = batch[:0]
 			n += shardFeedBatch
+			if rh != nil && n%healthTickEvery == 0 {
+				rh.mon.Tick()
+			}
 		}
 	}
 	if err := sh.PushBatch(batch); err != nil {
@@ -295,7 +392,7 @@ func runSharded(q Query, rc RunConfig, phys *plan.Physical, cfg exec.Config, gen
 	}
 	st := sh.Stats()
 	latPos, latNeg := sh.DeltaLatency()
-	return Result{
+	res := Result{
 		Query:           q,
 		Strategy:        rc.Strategy,
 		Window:          rc.Window,
@@ -317,5 +414,7 @@ func runSharded(q Query, rc RunConfig, phys *plan.Physical, cfg exec.Config, gen
 		LatencyPos:      latPos,
 		LatencyNeg:      latNeg,
 		Violations:      sh.Violations(),
-	}, nil
+	}
+	rh.finish(&res)
+	return res, nil
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/checkpoint"
+	"repro/internal/obs"
 	"repro/internal/operator"
 	"repro/internal/plan"
 	"repro/internal/relation"
@@ -274,6 +275,7 @@ func (e *Engine) Checkpoint(w io.Writer) error {
 	}
 	e.met.checkpoints.Inc()
 	e.met.checkpointBytes.Set(enc.Bytes())
+	e.met.checkpointLast.Set(obs.Nanotime())
 	if e.timed {
 		e.met.checkpointNanos.Observe(time.Since(start).Nanoseconds())
 	}
@@ -362,6 +364,7 @@ func (s *Sharded) Checkpoint(w io.Writer) error {
 	met := &s.shards[0].met
 	met.checkpoints.Inc()
 	met.checkpointBytes.Set(enc.Bytes())
+	met.checkpointLast.Set(obs.Nanotime())
 	if timed {
 		met.checkpointNanos.Observe(time.Since(start).Nanoseconds())
 	}

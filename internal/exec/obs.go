@@ -58,6 +58,10 @@ const (
 	MetricRestores = "upa_checkpoint_restore_total"
 	// MetricCheckpointBytes is the size of the most recent checkpoint.
 	MetricCheckpointBytes = "upa_checkpoint_bytes"
+	// MetricCheckpointLast is the obs.Nanotime() stamp of the most recent
+	// completed checkpoint (0 = never). The built-in checkpoint-age health
+	// rule reads it with SourceAge.
+	MetricCheckpointLast = "upa_checkpoint_last_nanos"
 	// MetricCheckpointNanos is the checkpoint-write latency histogram,
 	// recorded only when Config.Metrics is set.
 	MetricCheckpointNanos = "upa_checkpoint_nanos"
@@ -155,7 +159,7 @@ type engineMetrics struct {
 	checkpoints, restores                              *obs.Counter
 	clock, watermark                                   *obs.Gauge
 	stateTuples, maxStateTuples, viewRows              *obs.Gauge
-	checkpointBytes                                    *obs.Gauge
+	checkpointBytes, checkpointLast                    *obs.Gauge
 	pushNanos, refreshNanos                            *obs.Histogram
 	checkpointNanos, restoreNanos                      *obs.Histogram
 	latPos, latNeg                                     *obs.LogHistogram
@@ -191,6 +195,7 @@ func newEngineMetrics(reg *obs.Registry, base obs.Labels) engineMetrics {
 		checkpoints:     reg.Counter(MetricCheckpoints, "completed checkpoints", base),
 		restores:        reg.Counter(MetricRestores, "completed restores", base),
 		checkpointBytes: reg.Gauge(MetricCheckpointBytes, "size of the most recent checkpoint", base),
+		checkpointLast:  reg.Gauge(MetricCheckpointLast, "monotonic stamp of the most recent checkpoint (0 = never)", base),
 		pushNanos:       reg.Histogram(MetricPushNanos, "Push wall-clock latency in nanoseconds", obs.DefaultLatencyBuckets(), base),
 		refreshNanos:    reg.Histogram(MetricRefreshNanos, "Sync (result refresh) wall-clock latency in nanoseconds", obs.DefaultLatencyBuckets(), base),
 		checkpointNanos: reg.Histogram(MetricCheckpointNanos, "checkpoint-write wall-clock latency in nanoseconds", obs.DefaultLatencyBuckets(), base),

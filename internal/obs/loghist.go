@@ -142,6 +142,32 @@ func (h *LogHistogram) Snapshot() LogHistogramSnapshot {
 	return s
 }
 
+// Quantile estimates an arbitrary q-quantile (0 < q <= 1) from the
+// snapshot's buckets, clamped to the observed max — the general form of
+// the pre-computed P50/P95/P99, used by health rules with custom SLO
+// quantiles.
+func (s LogHistogramSnapshot) Quantile(q float64) int64 {
+	if s.Count <= 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	var counts [logBuckets]int64
+	total := int64(0)
+	for i, c := range s.Buckets {
+		if i >= 0 && i < logBuckets {
+			counts[i] += c
+			total += c
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	v := quantileFromBuckets(counts[:], total, q)
+	if s.Max > 0 && v > s.Max {
+		v = s.Max
+	}
+	return v
+}
+
 // Merge combines two snapshots bucket-wise and recomputes the quantiles —
 // how sharded execution folds per-shard latency distributions into one
 // (quantiles themselves cannot be averaged; bucket counts can).

@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"runtime/metrics"
+)
+
+// Process-level metric names.
+const (
+	MetricBuildInfo  = "upa_build_info"
+	MetricUptime     = "upa_uptime_seconds"
+	MetricGoroutines = "upa_goroutines"
+	MetricHeapBytes  = "upa_heap_bytes"
+	MetricGCCycles   = "upa_gc_cycles_total"
+)
+
+// runtimeSampleNames are the runtime/metrics samples backing the process
+// gauges. Reading them is a few atomic loads per sample — far cheaper
+// than runtime.ReadMemStats, which stops the world.
+var runtimeSampleNames = [...]string{
+	"/sched/goroutines:goroutines",
+	"/memory/classes/heap/objects:bytes",
+	"/gc/cycles/total:gc-cycles",
+}
+
+// RegisterProcessMetrics registers build/uptime/Go-runtime series on reg
+// and returns a refresh function that re-reads them — designed to hang off
+// History.BeforeSample so every tick sees fresh values. The refresh runs
+// once before returning, so scrape-only users get populated series too.
+// Safe on a nil registry (returns a no-op refresh).
+func RegisterProcessMetrics(reg *Registry) func() {
+	if reg == nil {
+		return func() {}
+	}
+	version := "devel"
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+		version = bi.Main.Version
+	}
+	reg.Gauge(MetricBuildInfo,
+		"Always 1; build metadata rides on the labels.",
+		Labels{"go": runtime.Version(), "version": version}).Set(1)
+
+	uptime := reg.Gauge(MetricUptime, "Seconds since process start.", nil)
+	goroutines := reg.Gauge(MetricGoroutines, "Live goroutines.", nil)
+	heap := reg.Gauge(MetricHeapBytes, "Bytes of live heap objects.", nil)
+	gc := reg.Counter(MetricGCCycles, "Completed GC cycles.", nil)
+
+	samples := make([]metrics.Sample, len(runtimeSampleNames))
+	for i, n := range runtimeSampleNames {
+		samples[i].Name = n
+	}
+	// Resume from the counter's current value so registering twice on the
+	// same registry (idempotent lookup returns the same counter) does not
+	// double-charge completed cycles.
+	gcSeen := gc.Value()
+	refresh := func() {
+		uptime.Set(Nanotime() / 1e9)
+		metrics.Read(samples)
+		for i, s := range samples {
+			if s.Value.Kind() != metrics.KindUint64 {
+				continue
+			}
+			v := int64(s.Value.Uint64())
+			switch runtimeSampleNames[i] {
+			case "/sched/goroutines:goroutines":
+				goroutines.Set(v)
+			case "/memory/classes/heap/objects:bytes":
+				heap.Set(v)
+			case "/gc/cycles/total:gc-cycles":
+				if d := v - gcSeen; d > 0 {
+					gc.Add(d)
+					gcSeen = v
+				}
+			}
+		}
+	}
+	refresh()
+	return refresh
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"time"
 
 	"repro/internal/exec"
 	"repro/internal/obs"
@@ -42,6 +43,63 @@ type (
 	// distribution: count, sum, max, and interpolated p50/p95/p99, all in
 	// nanoseconds (see Engine.DeltaLatency).
 	LatencySnapshot = obs.LogHistogramSnapshot
+	// MetricsHistory is the in-process ring-buffer sampler behind
+	// WithHealth: per-series retained windows of counter deltas, gauge
+	// values, and bucket-wise latency distributions.
+	MetricsHistory = obs.History
+	// HealthMonitor evaluates declarative rules over a MetricsHistory
+	// every sample tick and drives per-rule OK→WARN→CRIT alert state
+	// machines (see WithHealth and Engine.Health).
+	HealthMonitor = obs.Health
+	// HealthStatus is a point-in-time report of every rule's severity.
+	HealthStatus = obs.HealthStatus
+	// HealthRule is one declarative health check (threshold,
+	// rate-of-change, or windowed-quantile predicate over any series).
+	HealthRule = obs.Rule
+	// HealthSignal is the series-window expression a rule evaluates.
+	HealthSignal = obs.Signal
+	// HealthSeverity is a rule state: SevOK < SevWarn < SevCrit.
+	HealthSeverity = obs.Severity
+	// AlertTransition is one alert state change delivered to sinks.
+	AlertTransition = obs.Transition
+	// AlertSink receives alert transitions (see NewLogAlertSink,
+	// AlertFunc, and TracerAlertSink).
+	AlertSink = obs.AlertSink
+	// HealthSLO carries deployment-specific targets for the engine's
+	// built-in rules (delta-latency p99, checkpoint age).
+	HealthSLO = exec.HealthSLO
+)
+
+// Health severities.
+const (
+	SevOK   = obs.SevOK
+	SevWarn = obs.SevWarn
+	SevCrit = obs.SevCrit
+)
+
+// Signal sources for custom health rules: how a HealthSignal reads its
+// series' retained window.
+const (
+	// SourceValue reads the current value (cumulative total for counters,
+	// latest sample for gauges).
+	SourceValue = obs.SourceValue
+	// SourceDelta sums the change across the window.
+	SourceDelta = obs.SourceDelta
+	// SourceRate is the windowed change per second.
+	SourceRate = obs.SourceRate
+	// SourceQuantile reads the Q-quantile of the window's merged latency
+	// distribution.
+	SourceQuantile = obs.SourceQuantile
+	// SourceAge reads nanoseconds since a monotonic-stamp gauge was set.
+	SourceAge = obs.SourceAge
+)
+
+// Aggregators folding a signal's per-series readings when it matches more
+// than one label set.
+const (
+	AggSum = obs.AggSum
+	AggMax = obs.AggMax
+	AggMin = obs.AggMin
 )
 
 // Trace event kinds.
@@ -65,6 +123,9 @@ const (
 	// EvDeltaSpan is one sampled per-delta span: the operator-by-operator
 	// dwell breakdown of a traced arrival (see WithTraceSampling).
 	EvDeltaSpan = obs.EvDeltaSpan
+	// EvAlert is one health-rule alert transition forwarded through a
+	// tracer (see TracerAlertSink).
+	EvAlert = obs.EvAlert
 )
 
 // NewMetricsRegistry builds an empty metrics registry.
@@ -192,6 +253,90 @@ func (e *Engine) PatternViolations() int64 {
 	}
 	return e.seq.Violations()
 }
+
+// NewLogAlertSink builds an alert sink that writes one human-readable line
+// per transition to w.
+func NewLogAlertSink(w io.Writer) AlertSink { return obs.NewLogAlertSink(w) }
+
+// AlertFunc adapts a callback to the AlertSink interface.
+func AlertFunc(fn func(AlertTransition)) AlertSink { return obs.AlertFunc(fn) }
+
+// TracerAlertSink forwards alert transitions as EvAlert events through an
+// existing tracer, reusing its JSONL/ring sinks.
+func TracerAlertSink(t *Tracer) AlertSink { return obs.TracerAlertSink{T: t} }
+
+// HealthConfig parameterizes WithHealth.
+type HealthConfig struct {
+	// Interval is the sampling cadence (default 1s). A negative interval
+	// disables the background sampler: ticks happen only via
+	// Health().Tick(), which tests and single-threaded drivers use for
+	// determinism.
+	Interval time.Duration
+	// Capacity is the number of sample ticks each series retains
+	// (default 600).
+	Capacity int
+	// SLO parameterizes the engine's built-in rules (latency p99 target,
+	// checkpoint age, evaluation window).
+	SLO HealthSLO
+	// Rules are extra user rules evaluated alongside the built-ins.
+	Rules []HealthRule
+	// Sinks receive alert transitions.
+	Sinks []AlertSink
+}
+
+// WithHealth attaches the self-monitoring subsystem to the compiled
+// engine: a history sampler over the engine's registry (plus process-level
+// build/uptime/runtime series), the engine's built-in health rules
+// (pattern violations, premature expirations, shard backpressure, latency
+// SLO, staleness lag, checkpoint age) plus any user rules, and an alert
+// state machine per rule. Implies metrics: when no WithMetrics registry
+// was given, a private one is created. The sampler goroutine starts at
+// Compile and stops at Close.
+func WithHealth(hc HealthConfig) Option {
+	return func(c *compileCfg) { c.health = &hc }
+}
+
+// attachHealth builds the health subsystem post-construction; called by
+// Compile when WithHealth was given.
+func (e *Engine) attachHealth(hc HealthConfig) {
+	hcfg := obs.HistoryConfig{Capacity: hc.Capacity}
+	if hc.Interval > 0 {
+		hcfg.Interval = hc.Interval
+	}
+	hist := obs.NewHistory(e.Metrics(), hcfg)
+	hist.BeforeSample(obs.RegisterProcessMetrics(e.Metrics()))
+	var rules []HealthRule
+	if e.sh != nil {
+		rules = e.sh.HealthRules(hc.SLO)
+	} else {
+		rules = e.seq.HealthRules(hc.SLO)
+	}
+	rules = append(rules, hc.Rules...)
+	h := obs.NewHealth(hist, rules...)
+	for _, s := range hc.Sinks {
+		h.AddSink(s)
+	}
+	e.health = h
+	if hc.Interval >= 0 {
+		h.Start()
+	}
+}
+
+// Health returns the engine's health monitor, or nil unless compiled
+// WithHealth. The monitor stays readable after Close (its sampler is
+// stopped, its last state is retained).
+func (e *Engine) Health() *HealthMonitor { return e.health }
+
+// HealthPage returns the /debug/health page for the exposition endpoint:
+// every rule's severity and signal value as JSON (or HTML with
+// ?format=html), answering 503 when overall health is CRIT. Serves an
+// "health monitoring disabled" error unless compiled WithHealth.
+func (e *Engine) HealthPage() MetricsPage { return obs.HealthPage(e.health) }
+
+// HistoryPage returns the /debug/history page: the sampler's retained
+// per-series windows (?series=NAME&n=TICKS) as JSON. Serves an error
+// unless compiled WithHealth.
+func (e *Engine) HistoryPage() MetricsPage { return obs.HistoryPage(e.health.History()) }
 
 // ConformancePage returns a /debug/conformance page for the exposition
 // endpoint: one row per operator with its declared and observed

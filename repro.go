@@ -193,6 +193,7 @@ type compileCfg struct {
 	optimize bool
 	stats    plan.Stats
 	shards   int
+	health   *HealthConfig
 }
 
 // WithPartitions sets the partition count of partitioned state buffers
@@ -261,6 +262,7 @@ type Engine struct {
 	sh     *exec.Sharded
 	phys   *plan.Physical
 	root   *plan.Node
+	health *HealthMonitor
 	closed bool
 }
 
@@ -278,6 +280,11 @@ func Compile(q Node, strategy Strategy, opts ...Option) (*Engine, error) {
 		o(&cfg)
 	}
 	root := q.n
+	if cfg.health != nil && cfg.execCfg.Metrics == nil {
+		// Health needs instrumented series; a private registry keeps the
+		// monitor self-contained when the caller did not supply one.
+		cfg.execCfg.Metrics = NewMetricsRegistry()
+	}
 	if err := plan.Annotate(root, cfg.stats); err != nil {
 		return nil, fmt.Errorf("repro: annotate: %w", err)
 	}
@@ -292,18 +299,24 @@ func Compile(q Node, strategy Strategy, opts ...Option) (*Engine, error) {
 	if err != nil {
 		return nil, fmt.Errorf("repro: plan: %w", err)
 	}
+	out := &Engine{phys: phys, root: root}
 	if cfg.shards > 1 {
 		sh, err := exec.NewSharded(phys, cfg.execCfg, cfg.shards)
 		if err != nil {
 			return nil, fmt.Errorf("repro: executor: %w", err)
 		}
-		return &Engine{sh: sh, phys: phys, root: root}, nil
+		out.sh = sh
+	} else {
+		eng, err := exec.New(phys, cfg.execCfg)
+		if err != nil {
+			return nil, fmt.Errorf("repro: executor: %w", err)
+		}
+		out.seq = eng
 	}
-	eng, err := exec.New(phys, cfg.execCfg)
-	if err != nil {
-		return nil, fmt.Errorf("repro: executor: %w", err)
+	if cfg.health != nil {
+		out.attachHealth(*cfg.health)
 	}
-	return &Engine{seq: eng, phys: phys, root: root}, nil
+	return out, nil
 }
 
 // Open compiles the query and restores the engine's state from a checkpoint
@@ -481,6 +494,7 @@ func (e *Engine) Close() error {
 		return nil
 	}
 	e.closed = true
+	e.health.Stop()
 	if e.sh != nil {
 		return e.sh.Close()
 	}
