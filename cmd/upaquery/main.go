@@ -86,8 +86,18 @@ var queryNames = map[string]bench.Query{
 	"q5-pullup":   bench.Q5PullUp,
 }
 
+// multiFlag collects repeated occurrences of one flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
 func main() {
-	query := flag.String("query", "q1-ftp", "query name (-list to enumerate)")
+	var queries multiFlag
+	flag.Var(&queries, "query", "query to run: a name from -list, or name=CQL for a named ad-hoc query; repeat the flag to run several queries on one shared registry (default q1-ftp)")
 	cqlText := flag.String("cql", "", "run a CQL query instead (streams S0..S{links-1} carry the trace schema)")
 	links := flag.Int("links", 2, "number of trace links for -cql queries")
 	strategy := flag.String("strategy", "upa", "execution strategy: nt, direct, or upa")
@@ -125,10 +135,21 @@ func main() {
 		}
 		return
 	}
-	if err := run(*query, *cqlText, *links, *strategy, *windowSize, *duration, *traceFile,
-		*partitions, *shards, *metricsAddr, *traceOut, *progressEvery, *explain, *analyze,
-		*latency, *health, *sloP99, *healthInterval, *traceSample, *checkpointDir,
-		*checkpointEvery, *maxTuples, *dumpView); err != nil {
+	var err error
+	if len(queries) > 1 || (len(queries) == 1 && strings.Contains(queries[0], "=")) {
+		err = runMulti(queries, *links, *strategy, *windowSize, *duration, *traceFile,
+			*partitions, *progressEvery, *explain, *analyze, *dumpView)
+	} else {
+		single := "q1-ftp"
+		if len(queries) == 1 {
+			single = queries[0]
+		}
+		err = run(single, *cqlText, *links, *strategy, *windowSize, *duration, *traceFile,
+			*partitions, *shards, *metricsAddr, *traceOut, *progressEvery, *explain, *analyze,
+			*latency, *health, *sloP99, *healthInterval, *traceSample, *checkpointDir,
+			*checkpointEvery, *maxTuples, *dumpView)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "upaquery:", err)
 		if errors.Is(err, errHealthCrit) {
 			os.Exit(2)
@@ -623,4 +644,204 @@ func (p *progress) maybe(tuples int, eng liveEngine) {
 	}
 	fmt.Fprintf(os.Stderr, "progress: %d tuples (%.0f tuples/s), clock=%d, state=%d, emitted=%d, retracted=%d (%.3f/arrival)\n",
 		tuples, rate, eng.Clock(), state, st.Emitted, st.Retracted, retrRate)
+}
+
+// parseStrategy maps a -strategy value to the plan constant.
+func parseStrategy(name string) (plan.Strategy, error) {
+	switch strings.ToLower(name) {
+	case "nt":
+		return plan.NT, nil
+	case "direct":
+		return plan.Direct, nil
+	case "upa":
+		return plan.UPA, nil
+	default:
+		return 0, fmt.Errorf("unknown strategy %q (want nt, direct, or upa)", name)
+	}
+}
+
+// runMulti registers several queries on one shared registry and runs the
+// trace through it once. Each -query value is a bench query name or
+// name=CQL; queries sharing sub-plans (same window, predicate, strategy)
+// share physical state, which the per-query EXPLAIN annotates.
+func runMulti(specs []string, cqlLinks int, strategyName string, windowSize, duration int64,
+	traceFile string, partitions int, progressEvery time.Duration,
+	explainOnly, analyze bool, dumpView string) error {
+	strat, err := parseStrategy(strategyName)
+	if err != nil {
+		return err
+	}
+	if duration <= 0 {
+		duration = 2 * windowSize
+	}
+	cat := cql.Catalog{Streams: map[string]cql.StreamDef{}}
+	for i := 0; i < cqlLinks; i++ {
+		cat.Streams[fmt.Sprintf("S%d", i)] = cql.StreamDef{ID: i, Schema: trace.Schema()}
+	}
+	type namedQuery struct {
+		name string
+		root *plan.Node
+		q    bench.Query
+		cql  bool
+	}
+	var nqs []namedQuery
+	seen := map[string]int{}
+	nLinks := 1
+	for _, spec := range specs {
+		var nq namedQuery
+		if name, text, ok := strings.Cut(spec, "="); ok {
+			root, err := cql.Parse(text, cat)
+			if err != nil {
+				return fmt.Errorf("query %s: %w", name, err)
+			}
+			nq = namedQuery{name: name, root: root, cql: true}
+			if cqlLinks > nLinks {
+				nLinks = cqlLinks
+			}
+		} else {
+			q, ok := queryNames[strings.ToLower(spec)]
+			if !ok {
+				return fmt.Errorf("unknown query %q (use -list, or name=CQL)", spec)
+			}
+			nq = namedQuery{name: spec, root: bench.BuildPlan(q, windowSize), q: q}
+			if q.Links() > nLinks {
+				nLinks = q.Links()
+			}
+		}
+		// Repeat a name and the instances get -2, -3, ... suffixes.
+		seen[nq.name]++
+		if n := seen[nq.name]; n > 1 {
+			nq.name = fmt.Sprintf("%s-%d", nq.name, n)
+		}
+		nqs = append(nqs, nq)
+	}
+
+	lazy := windowSize / 20
+	if lazy < 1 {
+		lazy = 1
+	}
+	e := exec.NewMulti(exec.Config{EagerInterval: 1, LazyInterval: lazy})
+	handles := make([]*exec.QueryHandle, 0, len(nqs))
+	for _, nq := range nqs {
+		if err := plan.Annotate(nq.root, bench.PlanStats(nq.q, 0)); err != nil {
+			return fmt.Errorf("query %s: %w", nq.name, err)
+		}
+		phys, err := plan.Build(nq.root, strat, plan.Options{Partitions: partitions})
+		if err != nil {
+			return fmt.Errorf("query %s: %w", nq.name, err)
+		}
+		h, err := e.RegisterQuery(exec.QuerySpec{Name: nq.name, Phys: phys})
+		if err != nil {
+			return fmt.Errorf("register %s: %w", nq.name, err)
+		}
+		handles = append(handles, h)
+	}
+	s := e.Sharing()
+	fmt.Printf("registered %d queries under %v: %d physical operators for %d plan nodes, %d windows for %d sources (sharing ratio %.2f)\n\n",
+		s.Queries, strat, s.LiveNodes, s.PlanNodes, s.LiveSources, s.PlanSources, s.Ratio())
+	for _, h := range handles {
+		fmt.Printf("=== %s ===\n", h.Name())
+		if err := h.Explain(false).WriteText(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	if explainOnly {
+		return nil
+	}
+
+	var recs []trace.Record
+	if traceFile != "" {
+		f, err := os.Open(traceFile)
+		if err != nil {
+			return err
+		}
+		recs, err = trace.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	} else {
+		recs = trace.Generate(trace.Config{Links: nLinks, Tuples: int(duration) * nLinks, Seed: 42})
+	}
+	// A shared trace can carry links no registered query reads (e.g. three
+	// links on disk, queries over S0/S1 only); those records are skipped,
+	// like a deployment that never subscribed to the stream.
+	read := map[int]bool{}
+	for _, id := range e.Streams() {
+		read[id] = true
+	}
+	skipped := 0
+	start := time.Now()
+	prog := newProgress(start, progressEvery)
+	batch := make([]exec.Arrival, 0, 256)
+	for i, r := range recs {
+		if !read[r.Link] {
+			skipped++
+			continue
+		}
+		batch = append(batch, exec.Arrival{Stream: r.Link, TS: r.TS, Vals: r.Vals})
+		if len(batch) == cap(batch) {
+			if err := e.PushBatch(batch); err != nil {
+				return err
+			}
+			batch = batch[:0]
+			prog.maybe(i+1, e)
+		}
+	}
+	if err := e.PushBatch(batch); err != nil {
+		return err
+	}
+	if err := e.Sync(); err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	st := e.Stats()
+	fmt.Printf("processed %d tuples in %v (%.3f ms per 1000 tuples) across %d queries\n",
+		st.Arrivals, elapsed.Round(time.Millisecond),
+		float64(elapsed.Nanoseconds())/1e6/float64(max(1, int(st.Arrivals)))*1000, len(handles))
+	if skipped > 0 {
+		fmt.Printf("skipped %d trace records on links no query reads\n", skipped)
+	}
+	fmt.Printf("shared state: %d stored tuples, %d tuple touches\n\n", e.StateTuples(), e.Touched())
+	fmt.Printf("%-20s %12s %12s\n", "query", "results", "pattern")
+	for _, h := range handles {
+		n, err := h.ResultCount()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-20s %12d %12v\n", h.Name(), n, h.Pattern())
+	}
+	if analyze {
+		for _, h := range handles {
+			fmt.Printf("\n=== %s (ANALYZE) ===\n", h.Name())
+			if err := h.Explain(true).WriteText(os.Stdout); err != nil {
+				return err
+			}
+		}
+	}
+	if dumpView != "" {
+		for _, h := range handles {
+			rows, err := h.Snapshot()
+			if err != nil {
+				return err
+			}
+			lines := make([]string, 0, len(rows))
+			for _, t := range rows {
+				lines = append(lines, t.String())
+			}
+			sort.Strings(lines)
+			out := strings.Join(lines, "\n")
+			if out != "" {
+				out += "\n"
+			}
+			path := fmt.Sprintf("%s.%s", dumpView, h.Name())
+			if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "wrote %d result rows to %s\n", len(lines), path)
+		}
+	}
+	return nil
 }

@@ -134,3 +134,77 @@ func ExampleEngine_Pattern() {
 	// pattern: STR
 	// retractions: 1
 }
+
+// ExampleRegistry runs two queries on one shared executor: both window the
+// same stream identically, so the window's state is stored once and each
+// arrival scans it once, while each query keeps its private predicate and
+// result view.
+func ExampleRegistry() {
+	schema := repro.MustSchema(
+		repro.Column{Name: "src", Kind: repro.KindInt},
+		repro.Column{Name: "proto", Kind: repro.KindString},
+	)
+	reg, err := repro.NewRegistry()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer reg.Close()
+	ftp, err := reg.Register(
+		repro.Stream(0, schema, repro.TimeWindow(100)).
+			Where(repro.Col("proto").EqStr("ftp")),
+		repro.UPA, repro.WithQueryName("ftp"))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	http, err := reg.Register(
+		repro.Stream(0, schema, repro.TimeWindow(100)).
+			Where(repro.Col("proto").EqStr("http")),
+		repro.UPA, repro.WithQueryName("http"))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	reg.Push(0, 1, repro.Int(7), repro.Str("ftp"))
+	reg.Push(0, 2, repro.Int(8), repro.Str("http"))
+	reg.Push(0, 3, repro.Int(9), repro.Str("ftp"))
+	nf, _ := ftp.ResultCount()
+	nh, _ := http.ResultCount()
+	fmt.Println("ftp results:", nf)
+	fmt.Println("http results:", nh)
+	s := reg.Sharing()
+	fmt.Printf("window sources: %d physical for %d referenced\n",
+		s.LiveSources, s.PlanSources)
+	// Output:
+	// ftp results: 2
+	// http results: 1
+	// window sources: 1 physical for 2 referenced
+}
+
+// ExampleRegistry_unregister retires a query and shows shared state
+// surviving while private state is freed.
+func ExampleRegistry_unregister() {
+	schema := repro.MustSchema(
+		repro.Column{Name: "src", Kind: repro.KindInt},
+		repro.Column{Name: "proto", Kind: repro.KindString},
+	)
+	reg, _ := repro.NewRegistry()
+	defer reg.Close()
+	q1, _ := reg.Register(
+		repro.Stream(0, schema, repro.TimeWindow(100)).
+			Where(repro.Col("proto").EqStr("ftp")),
+		repro.UPA)
+	q2, _ := reg.Register(
+		repro.Stream(0, schema, repro.TimeWindow(100)).
+			Where(repro.Col("proto").EqStr("ftp")),
+		repro.UPA)
+	reg.Push(0, 1, repro.Int(7), repro.Str("ftp"))
+	freed, _ := reg.Unregister(q2)
+	fmt.Println("state tuples freed:", freed) // only q2's private view
+	n, _ := q1.ResultCount()
+	fmt.Println("survivor still answers:", n)
+	// Output:
+	// state tuples freed: 1
+	// survivor still answers: 1
+}

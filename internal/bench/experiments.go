@@ -6,8 +6,11 @@ import (
 	"time"
 
 	"repro/internal/exec"
+	"repro/internal/operator"
 	"repro/internal/plan"
+	"repro/internal/reference"
 	"repro/internal/trace"
+	"repro/internal/tuple"
 )
 
 // Scale selects experiment sizing: Quick keeps every sweep point small
@@ -245,6 +248,7 @@ func Experiments() []Experiment {
 		{"e8", "E8: cost model vs measurement", runCostRanking},
 		{"e9", "E9: shard-count sweep (key-partitioned execution)", runShardSweep},
 		{"e10", "E10: recovery — checkpoint size/latency vs trace replay", runRecovery},
+		{"e11", "E11: multi-query sharing — N Query 1 variants on one registry vs N engines", runMultiQuery},
 	}
 }
 
@@ -498,6 +502,173 @@ func runCostRanking(s Scale) ([]Table, error) {
 			}
 		}
 		tab.Rows = append(tab.Rows, []string{q.String(), bestPred, bestMeas, fmt.Sprint(bestPred == bestMeas)})
+	}
+	return []Table{tab}, nil
+}
+
+// runMultiQuery measures multi-query shared execution: N predicate
+// variants of Query 1 — the shared ftp join with a private payload
+// threshold on top, a distinct cutoff per variant — registered on one
+// registry versus run on N independent engines. The registry deduplicates
+// the windows, selections, and join (everything below the private top
+// select), so each arrival pays the join once instead of N times. Every
+// registry view must stay bag-equal to its standalone twin.
+func runMultiQuery(s Scale) ([]Table, error) {
+	w := int64(2000)
+	counts := []int{1, 4, 16, 64}
+	if s == Quick {
+		w = 500
+		counts = []int{1, 4, 8}
+	}
+	q := Q1FTP
+	lazy := w * 5 / 100
+	if lazy < 1 {
+		lazy = 1
+	}
+	cfg := exec.Config{EagerInterval: 1, LazyInterval: lazy}
+	// Variant i of n keeps rows with payload above a cutoff spread across
+	// the lower half of the payload domain ([0, 1<<14)), so every variant
+	// has a distinct predicate digest (a private plan node) but passes at
+	// least half the join output.
+	variant := func(i, n int) (*plan.Physical, error) {
+		cut := int64(i) * (1 << 13) / int64(n)
+		root := plan.NewSelect(BuildPlan(q, w), operator.ColConst{
+			Col: trace.ColPayload, Op: operator.GT, Val: tuple.Int(cut),
+			Sel: 1 - float64(cut)/float64(1<<14),
+		})
+		if err := plan.Annotate(root, PlanStats(q, 1000)); err != nil {
+			return nil, err
+		}
+		return plan.Build(root, plan.UPA, plan.Options{})
+	}
+	links := q.Links()
+	gen := trace.NewGenerator(trace.Config{
+		Links: links, Tuples: int(2*w) * links, Seed: 42,
+		SrcHosts: 1000, SrcSkew: q.SrcSkew(), DisjointSources: q.DisjointSources(),
+	})
+	var recs []trace.Record
+	for {
+		rec, ok := gen.Next()
+		if !ok {
+			break
+		}
+		recs = append(recs, rec)
+	}
+	// One untimed pass warms the process (heap growth, page faults) so the
+	// first timed point doesn't read artificially slow; a single-query
+	// registry and a standalone engine are the same code path (exec.New is a
+	// one-query registry), so N=1 must measure ~1.0x.
+	warm := exec.NewMulti(cfg)
+	if phys, err := variant(0, 1); err == nil {
+		if _, err := warm.RegisterQuery(exec.QuerySpec{Name: "warm", Phys: phys}); err == nil {
+			for _, r := range recs {
+				if err := warm.Push(r.Link, r.TS, r.Vals...); err != nil {
+					break
+				}
+			}
+			_ = warm.Sync()
+		}
+	}
+	tab := Table{
+		ID:    "e11",
+		Title: fmt.Sprintf("Multi-query sharing, Query 1 (ftp) + payload cutoffs, window %d, UPA", w),
+		Columns: []string{"N", "reg ktup/s", "indep ktup/s", "speedup",
+			"reg state", "indep state", "reg ckpt B", "indep ckpt B", "share ratio"},
+		Notes: "N payload-threshold variants of Query 1 on one registry vs N independent engines fed " +
+			"the same trace. Sub-plan sharing folds the N copies of the windows, ftp selections, and " +
+			"join into one physical instance each; only the top threshold select stays per-query. " +
+			"State and checkpoint bytes count live stored tuples once per physical node, so they stay " +
+			"near-flat on the registry while growing linearly with N on independent engines. Each " +
+			"registry view is verified bag-equal to its standalone twin (not shown). Share ratio is " +
+			"plan nodes per live physical node (1 = no sharing).",
+	}
+	for _, n := range counts {
+		reg := exec.NewMulti(cfg)
+		handles := make([]*exec.QueryHandle, n)
+		for i := range handles {
+			phys, err := variant(i, n)
+			if err != nil {
+				return nil, fmt.Errorf("e11 N=%d v%d: %w", n, i, err)
+			}
+			h, err := reg.RegisterQuery(exec.QuerySpec{Name: fmt.Sprintf("v%d", i), Phys: phys})
+			if err != nil {
+				return nil, fmt.Errorf("e11 N=%d v%d: register: %w", n, i, err)
+			}
+			handles[i] = h
+		}
+		start := time.Now()
+		for _, r := range recs {
+			if err := reg.Push(r.Link, r.TS, r.Vals...); err != nil {
+				return nil, fmt.Errorf("e11 N=%d: push: %w", n, err)
+			}
+		}
+		if err := reg.Sync(); err != nil {
+			return nil, fmt.Errorf("e11 N=%d: sync: %w", n, err)
+		}
+		regSec := time.Since(start).Seconds()
+		share := reg.Sharing()
+		regState := reg.StateTuples()
+		var regCkpt bytes.Buffer
+		if err := reg.CheckpointRegistry(&regCkpt); err != nil {
+			return nil, fmt.Errorf("e11 N=%d: checkpoint: %w", n, err)
+		}
+
+		engines := make([]*exec.Engine, n)
+		for i := range engines {
+			phys, err := variant(i, n)
+			if err != nil {
+				return nil, fmt.Errorf("e11 N=%d v%d: %w", n, i, err)
+			}
+			engines[i], err = exec.New(phys, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("e11 N=%d v%d: %w", n, i, err)
+			}
+		}
+		start = time.Now()
+		for _, e := range engines {
+			for _, r := range recs {
+				if err := e.Push(r.Link, r.TS, r.Vals...); err != nil {
+					return nil, fmt.Errorf("e11 N=%d: indep push: %w", n, err)
+				}
+			}
+			if err := e.Sync(); err != nil {
+				return nil, fmt.Errorf("e11 N=%d: indep sync: %w", n, err)
+			}
+		}
+		indepSec := time.Since(start).Seconds()
+		indepState := 0
+		indepCkpt := 0
+		for i, e := range engines {
+			indepState += e.StateTuples()
+			var ck bytes.Buffer
+			if err := e.Checkpoint(&ck); err != nil {
+				return nil, fmt.Errorf("e11 N=%d v%d: indep checkpoint: %w", n, i, err)
+			}
+			indepCkpt += ck.Len()
+
+			got, err := handles[i].Snapshot()
+			if err != nil {
+				return nil, fmt.Errorf("e11 N=%d v%d: snapshot: %w", n, i, err)
+			}
+			want, err := e.Snapshot()
+			if err != nil {
+				return nil, fmt.Errorf("e11 N=%d v%d: indep snapshot: %w", n, i, err)
+			}
+			if !reference.SameBag(reference.RowsOf(got), reference.RowsOf(want)) {
+				return nil, fmt.Errorf("e11 N=%d v%d: registry view diverges from standalone (%d vs %d rows)",
+					n, i, len(got), len(want))
+			}
+		}
+		ktps := func(sec float64) string {
+			return fmt.Sprintf("%.0f", float64(len(recs))/sec/1000)
+		}
+		tab.Rows = append(tab.Rows, []string{
+			fmt.Sprint(n), ktps(regSec), ktps(indepSec),
+			fmt.Sprintf("%.1fx", indepSec/regSec),
+			fmt.Sprint(regState), fmt.Sprint(indepState),
+			fmt.Sprint(regCkpt.Len()), fmt.Sprint(indepCkpt),
+			fmt.Sprintf("%.2f", share.Ratio()),
+		})
 	}
 	return []Table{tab}, nil
 }

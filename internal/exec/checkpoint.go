@@ -253,8 +253,13 @@ func (e *Engine) readState(dec *checkpoint.Decoder) error {
 // Checkpoint writes the engine's complete dynamic state to w. It does not
 // force pending maintenance: cursors travel with the state, so a restored
 // engine resumes the exact maintenance schedule, and checkpointing never
-// perturbs the run it snapshots.
+// perturbs the run it snapshots. This is the single-query format; an engine
+// carrying several registered queries checkpoints with CheckpointRegistry
+// (or per query through QueryHandle.Checkpoint).
 func (e *Engine) Checkpoint(w io.Writer) error {
+	if len(e.queries) != 1 {
+		return fmt.Errorf("exec: engine checkpoint requires exactly one registered query (have %d); use CheckpointRegistry", len(e.queries))
+	}
 	var start time.Time
 	if e.timed {
 		start = time.Now()
@@ -289,6 +294,9 @@ func (e *Engine) Checkpoint(w io.Writer) error {
 // restoring over accumulated state replaces stored tuples but counter deltas
 // assume a zero baseline.
 func (e *Engine) Restore(r io.Reader) error {
+	if len(e.queries) != 1 {
+		return fmt.Errorf("exec: engine restore requires exactly one registered query (have %d); use RestoreRegistry", len(e.queries))
+	}
 	var start time.Time
 	if e.timed {
 		start = time.Now()

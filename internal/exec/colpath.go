@@ -27,17 +27,18 @@ import (
 // operations and canonical keys, so they are freely interleavable (Advance,
 // table updates, and NT retractions always use the row path).
 
-// colPlanSupported reports whether every layer of the plan has a columnar
-// fast path. Called once from New, after e.order is built.
+// colPlanSupported reports whether every layer of the live dataflow has a
+// columnar fast path. Recomputed (recomputeColPath) after every registration
+// change, over the canonical sources and operators.
 func (e *Engine) colPlanSupported() bool {
-	if len(e.phys.Sources) == 0 {
+	if len(e.sources) == 0 {
 		return false
 	}
-	counts := make(map[int]int, len(e.phys.Sources))
-	for _, s := range e.phys.Sources {
+	counts := make(map[int]int, len(e.sources))
+	for _, s := range e.sources {
 		counts[s.StreamID]++
 	}
-	for _, s := range e.phys.Sources {
+	for _, s := range e.sources {
 		// A stream feeding several windows (self-join shapes) interleaves
 		// stamped tuples and evictions across sources; the row path keeps
 		// that ordering exact.
@@ -68,8 +69,8 @@ func (e *Engine) colPlanSupported() bool {
 // columnar path stages runs in. One buffer per plan edge suffices: a run
 // flows root-ward depth-first and no operator retains its input batch.
 func (e *Engine) initColPath() {
-	e.colSrc = make(map[*plan.PSource]*tuple.ColBatch, len(e.phys.Sources))
-	for _, s := range e.phys.Sources {
+	e.colSrc = make(map[*plan.PSource]*tuple.ColBatch, len(e.sources))
+	for _, s := range e.sources {
 		e.colSrc[s] = tuple.NewColBatch(s.Schema)
 	}
 	e.colOut = make(map[*plan.PNode]*tuple.ColBatch, len(e.order))
@@ -111,6 +112,7 @@ func (e *Engine) ingestRunCols(src *plan.PSource, ts int64, run []Arrival) (hand
 	e.colRows = rows[:0]
 	if !ok {
 		e.colOK = false
+		e.colDemoted = true
 		return false, nil
 	}
 	exp, err := src.Window.StampRun(ts, cb.Len())
@@ -121,23 +123,31 @@ func (e *Engine) ingestRunCols(src *plan.PSource, ts int64, run []Arrival) (hand
 	return true, e.feedSourceCols(src, cb)
 }
 
-// feedSourceCols routes a window-stamped columnar run to the operator edge
-// (or straight to the view for a bare-window plan). On a measured engine it
-// takes the pipeline's first clock reading here; each kernel boundary then
-// takes exactly one more (see feedCols).
+// feedSourceCols routes a window-stamped columnar run to the source's
+// consumer edges (and straight to the views of bare-window queries). On a
+// measured engine each edge's pipeline takes its first clock reading here;
+// each kernel boundary then takes exactly one more (see feedCols). Kernels
+// never retain their input batch and a node never appears in its own
+// downstream (the dataflow is acyclic), so one staged batch can feed every
+// edge in turn.
 func (e *Engine) feedSourceCols(src *plan.PSource, cb *tuple.ColBatch) error {
 	if cb.Len() == 0 {
 		return nil
 	}
-	if src.Consumer == nil {
-		e.applyResultCols(cb)
-		return nil
+	cell := src.Scratch.(*srcCell)
+	for _, q := range cell.sinks {
+		e.applyResultCols(q, cb)
 	}
-	var t0 int64
-	if e.timed || e.spanActive {
-		t0 = obs.Nanotime()
+	for _, ed := range cell.outs {
+		var t0 int64
+		if e.timed || e.spanActive {
+			t0 = obs.Nanotime()
+		}
+		if err := e.feedCols(ed.node, ed.side, cb, t0); err != nil {
+			return err
+		}
 	}
-	return e.feedCols(src.Consumer, src.Side, cb, t0)
+	return nil
 }
 
 // feedCols processes a same-side columnar run at node through its kernel and
@@ -206,19 +216,31 @@ func (e *Engine) propagateCols(node *plan.PNode, outs *tuple.ColBatch, prev int6
 	if pos > 0 {
 		em.pos.Add(pos)
 	}
-	if node.Parent == nil {
-		e.applyResultCols(outs)
-		return nil
+	for _, q := range em.sinks {
+		e.applyResultCols(q, outs)
 	}
-	return e.feedCols(node.Parent, node.Side, outs, prev)
+	if len(em.outs) == 1 {
+		// The common spine: hand the chained reading straight through.
+		return e.feedCols(em.outs[0].node, em.outs[0].side, outs, prev)
+	}
+	for _, ed := range em.outs {
+		var t0 int64
+		if e.timed || e.spanActive {
+			t0 = obs.Nanotime()
+		}
+		if err := e.feedCols(ed.node, ed.side, outs, t0); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
-// applyResultCols folds a root emission batch into the result view, one
-// materialized row at a time (the view stores rows); value slices come from
-// the engine's arena, not per-tuple allocations.
-func (e *Engine) applyResultCols(cb *tuple.ColBatch) {
+// applyResultCols folds a root emission batch into q's view, one
+// materialized row at a time (views store rows); value slices come from the
+// engine's arena, not per-tuple allocations.
+func (e *Engine) applyResultCols(q *queryUnit, cb *tuple.ColBatch) {
 	n := cb.Len()
 	for i := 0; i < n; i++ {
-		e.applyResult(cb.RowTuple(i, &e.colArena, e.intern))
+		e.applyResult(q, cb.RowTuple(i, &e.colArena, e.intern))
 	}
 }

@@ -4,13 +4,45 @@ import (
 	"repro/internal/plan"
 )
 
-// Explain returns the renderable plan tree. With analyze set, each operator
-// node carries its live counters (EXPLAIN ANALYZE); the counters are read
-// with atomic loads, so calling it while the engine runs is safe.
+// Explain returns the renderable plan tree for the first registered query
+// (the only one of a single-query engine), nil when the registry is empty.
+// With analyze set, each operator node carries its live counters (EXPLAIN
+// ANALYZE); the counters are read with atomic loads, so calling it while
+// the engine runs is safe.
 func (e *Engine) Explain(analyze bool) *plan.ExplainTree {
-	t := plan.Explain(e.phys)
+	if len(e.queries) == 0 {
+		return nil
+	}
+	return e.explainQuery(e.queries[0], analyze)
+}
+
+// Explain returns the query's renderable plan tree, annotated with the
+// registry's sharing verdicts: every node carries its canonical share key,
+// and nodes executed by a physical operator other queries also map onto
+// list those queries in SharedWith ("shared with q1,q3" in the text
+// rendering).
+func (h *QueryHandle) Explain(analyze bool) *plan.ExplainTree {
+	return h.e.explainQuery(h.q, analyze)
+}
+
+func (e *Engine) explainQuery(q *queryUnit, analyze bool) *plan.ExplainTree {
+	t := plan.Explain(q.phys)
+	t.Walk(func(n *plan.ExplainNode) {
+		switch {
+		case n.PNode != nil:
+			canon := q.canon(n.PNode)
+			n.ShareKey = e.nodeKey[canon]
+			n.SharedWith = e.sharedWith(canon, q)
+		case n.Source != nil:
+			canon := q.canonSrc(n.Source)
+			// srcKey is set only for shareable sources; a stream windowed
+			// several times by one query keeps an empty key (private by rule).
+			n.ShareKey = e.srcKey[canon]
+			n.SharedWith = e.sharedWithSource(canon, q)
+		}
+	})
 	if analyze {
-		attachStats(t, e.Profile(), 1, e.Clock(), e.Watermark())
+		attachStats(t, e.profileQuery(q), 1, e.Clock(), e.Watermark())
 	}
 	return t
 }

@@ -172,9 +172,14 @@ func BuiltinHealthRules(strategy plan.Strategy, eagerInterval, lazyInterval int6
 }
 
 // HealthRules returns the engine's built-in rule set (see
-// BuiltinHealthRules).
+// BuiltinHealthRules). The NT-specific rules key off the first registered
+// query's strategy; an empty registry gets the UPA set.
 func (e *Engine) HealthRules(slo HealthSLO) []obs.Rule {
-	return BuiltinHealthRules(e.phys.Strategy, e.cfg.EagerInterval, e.cfg.LazyInterval, slo)
+	strategy := plan.UPA
+	if e.phys != nil {
+		strategy = e.phys.Strategy
+	}
+	return BuiltinHealthRules(strategy, e.cfg.EagerInterval, e.cfg.LazyInterval, slo)
 }
 
 // HealthRules returns the sharded executor's built-in rule set. Shard

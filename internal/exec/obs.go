@@ -218,9 +218,26 @@ type opStats struct {
 	// name is the pre-rendered "class#id" span label, so emitting a sampled
 	// EvDeltaSpan allocates nothing beyond the event itself.
 	name string
+	// id is the node's engine-wide operator index (the "id" metric label),
+	// assigned at registration and never reused.
+	id int
 	// conf is the operator's pattern-conformance cell, maintained on the
 	// output edge by propagate/propagateBatch.
 	conf conformance
+	// outs and sinks are the node's fan-out: the operator input edges its
+	// emissions feed, and the registered queries whose result view it is the
+	// root of. A single-query engine has exactly one entry between them per
+	// node; shared nodes in a registry fan out to several consumers. Mutated
+	// only at Register/Unregister time.
+	outs  []outEdge
+	sinks []*queryUnit
+}
+
+// outEdge is one consumer edge of the shared dataflow: emissions are fed to
+// node's input side.
+type outEdge struct {
+	node *plan.PNode
+	side int
 }
 
 // conformance watches one operator's output stream and checks every
@@ -303,54 +320,43 @@ func (st *opStats) violations() (byKind [numViolationKinds]int64, total int64) {
 	return byKind, total
 }
 
-// opCounters registers the per-operator series for every plan node, labeled
-// with the operator class and its pre-order index so the exposition output
-// lines up with Profile() and plan.Explain's tree order. base labels (e.g.
-// a shard id) are merged into every series.
-func opCounters(reg *obs.Registry, root *plan.PNode, base obs.Labels) map[*plan.PNode]*opStats {
-	out := make(map[*plan.PNode]*opStats)
-	idx := 0
-	var walk func(n *plan.PNode)
-	walk = func(n *plan.PNode) {
-		if n == nil {
-			return
-		}
-		id := strconv.Itoa(idx)
-		labels := obs.Labels{"op": n.Class.String(), "id": id}
-		for k, v := range base {
-			labels[k] = v
-		}
-		idx++
-		st := &opStats{
-			name:      n.Class.String() + "#" + id,
-			inPos:     reg.Counter(MetricOpInPos, "per-operator positive input tuples", labels),
-			inNeg:     reg.Counter(MetricOpInNeg, "per-operator negative input tuples", labels),
-			pos:       reg.Counter(MetricOpEmitted, "per-operator emitted tuples", labels),
-			neg:       reg.Counter(MetricOpRetracted, "per-operator retracted tuples", labels),
-			expired:   reg.Counter(MetricOpExpired, "per-operator expiration-driven outputs", labels),
-			procNanos: reg.Counter(MetricOpProcNanos, "per-operator cumulative Process wall time", labels),
-			state:     reg.Gauge(MetricOpState, "per-operator stored tuples (sampled)", labels),
-			touched:   reg.Gauge(MetricOpTouched, "per-operator tuple visits (sampled)", labels),
-			maxBatch:  reg.Gauge(MetricOpBatchMax, "per-operator max Process call latency", labels),
-			lastBatch: reg.Gauge(MetricOpBatchLast, "per-operator last Process call latency", labels),
-		}
-		st.conf = conformance{
-			declared:       n.Pattern,
-			maxBoundaryExp: math.MinInt64,
-			replacement:    n.Class == core.OpGroupBy,
-			observedG: reg.Gauge(MetricOpObservedPattern,
-				"per-operator observed update-pattern class (0=MONO 1=WKS 2=WK 3=STR)", labels),
-		}
-		for i, kind := range violationKinds {
-			st.conf.viol[i] = reg.Counter(MetricPatternViolations,
-				"retractions exceeding the operator's declared pattern class", withLabel(labels, "kind", kind))
-		}
-		out[n] = st
-		n.Scratch = st // hot-path cache: feed/propagate skip the map lookup
-		for _, c := range n.Inputs {
-			walk(c)
-		}
+// newOpStats registers the per-operator series for one plan node, labeled
+// with the operator class and its engine-wide operator index so the
+// exposition output lines up with Profile() and plan.Explain's tree order
+// (for a single-query engine the index is the root's pre-order position; in
+// a registry ids are assigned in registration order and never reused). base
+// labels (e.g. a shard id) are merged into every series.
+func newOpStats(reg *obs.Registry, n *plan.PNode, idx int, base obs.Labels) *opStats {
+	id := strconv.Itoa(idx)
+	labels := obs.Labels{"op": n.Class.String(), "id": id}
+	for k, v := range base {
+		labels[k] = v
 	}
-	walk(root)
-	return out
+	st := &opStats{
+		name:      n.Class.String() + "#" + id,
+		id:        idx,
+		inPos:     reg.Counter(MetricOpInPos, "per-operator positive input tuples", labels),
+		inNeg:     reg.Counter(MetricOpInNeg, "per-operator negative input tuples", labels),
+		pos:       reg.Counter(MetricOpEmitted, "per-operator emitted tuples", labels),
+		neg:       reg.Counter(MetricOpRetracted, "per-operator retracted tuples", labels),
+		expired:   reg.Counter(MetricOpExpired, "per-operator expiration-driven outputs", labels),
+		procNanos: reg.Counter(MetricOpProcNanos, "per-operator cumulative Process wall time", labels),
+		state:     reg.Gauge(MetricOpState, "per-operator stored tuples (sampled)", labels),
+		touched:   reg.Gauge(MetricOpTouched, "per-operator tuple visits (sampled)", labels),
+		maxBatch:  reg.Gauge(MetricOpBatchMax, "per-operator max Process call latency", labels),
+		lastBatch: reg.Gauge(MetricOpBatchLast, "per-operator last Process call latency", labels),
+	}
+	st.conf = conformance{
+		declared:       n.Pattern,
+		maxBoundaryExp: math.MinInt64,
+		replacement:    n.Class == core.OpGroupBy,
+		observedG: reg.Gauge(MetricOpObservedPattern,
+			"per-operator observed update-pattern class (0=MONO 1=WKS 2=WK 3=STR)", labels),
+	}
+	for i, kind := range violationKinds {
+		st.conf.viol[i] = reg.Counter(MetricPatternViolations,
+			"retractions exceeding the operator's declared pattern class", withLabel(labels, "kind", kind))
+	}
+	n.Scratch = st // hot-path cache: feed/propagate skip the map lookup
+	return st
 }

@@ -53,13 +53,30 @@ func (p OpProfile) Violations() int64 {
 	return p.ViolExpiration + p.ViolOutOfOrder + p.ViolPremature
 }
 
-// Profile returns per-operator runtime counters in pre-order (root first) —
-// an EXPLAIN ANALYZE for continuous queries: which edges carry retractions,
-// where state lives, and which structures do the touching. Every field is
-// read from the operator's registry instruments with atomic loads, so
-// Profile is safe to call from another goroutine (e.g. the /debug/plan
-// page) while the engine runs.
+// Profile returns per-operator runtime counters for the first registered
+// query in pre-order (root first) — an EXPLAIN ANALYZE for continuous
+// queries: which edges carry retractions, where state lives, and which
+// structures do the touching. Every field is read from the operator's
+// registry instruments with atomic loads, so Profile is safe to call from
+// another goroutine (e.g. the /debug/plan page) while the engine runs.
 func (e *Engine) Profile() []OpProfile {
+	if len(e.queries) == 0 {
+		return nil
+	}
+	return e.profileQuery(e.queries[0])
+}
+
+// Profile returns the query's per-operator runtime counters, in pre-order
+// of its plan. Rows for shared operators report the canonical node's
+// counters — the physical work, summed over every query it serves. The ID
+// field is the row's pre-order position in this query's plan (matching its
+// EXPLAIN ids); only for the engine's first query does it also match the
+// "id" metric label.
+func (h *QueryHandle) Profile() []OpProfile {
+	return h.e.profileQuery(h.q)
+}
+
+func (e *Engine) profileQuery(q *queryUnit) []OpProfile {
 	var out []OpProfile
 	idx := 0
 	var walk func(n *plan.PNode, depth int)
@@ -67,7 +84,7 @@ func (e *Engine) Profile() []OpProfile {
 		if n == nil {
 			return
 		}
-		st := e.ops[n]
+		st := e.ops[q.canon(n)]
 		byKind, _ := st.violations()
 		out = append(out, OpProfile{
 			ID:             idx,
@@ -94,7 +111,7 @@ func (e *Engine) Profile() []OpProfile {
 			walk(c, depth+1)
 		}
 	}
-	walk(e.phys.Root, 0)
+	walk(q.phys.Root, 0)
 	return out
 }
 

@@ -1,0 +1,94 @@
+package plan
+
+import (
+	"fmt"
+
+	"repro/internal/operator"
+)
+
+// This file canonicalizes a physical plan into immutable, shareable
+// descriptors — the key of the multi-query registry's sub-plan dedup. Two
+// plan nodes (possibly from different registered queries) may share one
+// physical operator exactly when their descriptors are equal, because the
+// descriptor pins down everything that determines the node's behaviour and
+// its state layout:
+//
+//   - the operator and its logical parameters (predicate digest, column
+//     lists, aggregates — via nodeTitle, which renders predicates with their
+//     deterministic String form);
+//   - the physical configuration (chosen state-buffer kinds, key columns —
+//     via the operator's Describe self-description);
+//   - the execution strategy and the node's update-pattern class. The
+//     pattern class is part of the key by construction, which enforces the
+//     paper's sharing precondition: two queries share an edge only when
+//     their update-pattern annotations agree on it;
+//   - the inputs, recursively, down to the window leaves (stream id, window
+//     spec, materialization, pattern).
+//
+// Descriptors are plain strings built from deterministic renderings — no
+// pointers — so they are stable across processes and usable in checkpoint
+// fingerprints and EXPLAIN output. Table-backed operators render the table
+// by name only; the executor layer additionally requires table pointer
+// identity before sharing them (two distinct tables may share a name).
+type Digests struct {
+	// Nodes maps every physical operator of the walked plan to its
+	// descriptor.
+	Nodes map[*PNode]string
+	// Own maps every physical operator to just the node's own component of
+	// the descriptor — operator, parameters, strategy, pattern, class —
+	// without the recursive input digests. The executor combines it with the
+	// resolved canonical identities of the node's actual inputs to form its
+	// share key, so a node whose input could not be shared is itself
+	// unshareable even when the structural digests match.
+	Own map[*PNode]string
+	// Sources maps every window leaf to its descriptor.
+	Sources map[*PSource]string
+}
+
+// ComputeDigests canonicalizes every node of p. The logical and physical
+// trees are walked in parallel (they are structurally aligned, as in
+// Explain), so each operator descriptor can draw on both the logical
+// parameters and the physical configuration.
+func ComputeDigests(p *Physical) *Digests {
+	d := &Digests{
+		Nodes:   make(map[*PNode]string),
+		Own:     make(map[*PNode]string),
+		Sources: make(map[*PSource]string),
+	}
+	srcIdx := 0
+	var walk func(ln *Node, pn *PNode) string
+	walk = func(ln *Node, pn *PNode) string {
+		if ln.Kind == Source {
+			src := p.Sources[srcIdx]
+			srcIdx++
+			dg := fmt.Sprintf("src|S%d|%s|%s|mat=%t|%v",
+				src.StreamID, src.Spec, src.Schema, src.Window.Materialized(), ln.Pattern)
+			d.Sources[src] = dg
+			return dg
+		}
+		detail := ""
+		if desc, ok := pn.Op.(operator.Describer); ok {
+			detail = desc.Describe()
+		}
+		own := fmt.Sprintf("op|%s|%s|%v|%v|%v", nodeTitle(ln), detail, p.Strategy, ln.Pattern, pn.Class)
+		d.Own[pn] = own
+		dg := own + "("
+		for i, child := range ln.Inputs {
+			var cpn *PNode
+			if i < len(pn.Inputs) {
+				cpn = pn.Inputs[i]
+			}
+			if i > 0 {
+				dg += ","
+			}
+			dg += walk(child, cpn)
+		}
+		dg += ")"
+		d.Nodes[pn] = dg
+		return dg
+	}
+	if p.Root != nil || p.Logical != nil {
+		walk(p.Logical, p.Root)
+	}
+	return d
+}

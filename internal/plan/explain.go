@@ -68,6 +68,14 @@ type ExplainNode struct {
 	Children []*ExplainNode
 	// Stats are live counters, non-nil only in ANALYZE mode.
 	Stats *NodeStats
+	// SharedWith names the other registered queries whose plans map onto the
+	// same canonical physical node (multi-query registry only); empty for a
+	// private node or a standalone engine.
+	SharedWith []string
+	// ShareKey is the node's canonical descriptor when the executor attaches
+	// sharing information — the share-compatibility verdict two plans are
+	// compared by. Empty outside a registry.
+	ShareKey string
 }
 
 // ExplainTree is a renderable description of one physical plan.
@@ -242,6 +250,11 @@ func (t *ExplainTree) WriteText(w io.Writer) error {
 				return
 			}
 		}
+		if len(n.SharedWith) > 0 {
+			if _, werr = fmt.Fprintf(w, "%s  · shared with %s\n", pad, strings.Join(n.SharedWith, ",")); werr != nil {
+				return
+			}
+		}
 		if n.Stats != nil {
 			if _, werr = fmt.Fprintf(w, "%s  · %s\n", pad, n.Stats.line()); werr != nil {
 				return
@@ -315,6 +328,9 @@ func (t *ExplainTree) WriteDOT(w io.Writer) error {
 		}
 		if n.Detail != "" {
 			label += "\n" + n.Detail
+		}
+		if len(n.SharedWith) > 0 {
+			label += "\nshared with " + strings.Join(n.SharedWith, ",")
 		}
 		if n.Stats != nil {
 			label += "\n" + n.Stats.line()

@@ -134,6 +134,9 @@ type PSource struct {
 	// Consumer means the source feeds the materialized view directly.
 	Consumer *PNode
 	Side     int
+	// Scratch is executor-owned: the engine bound to this plan caches its
+	// per-source cell (consumer fan-out edges, expiry policy) here.
+	Scratch any
 }
 
 // Physical is an executable plan: operators constructed and wired, sources

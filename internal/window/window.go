@@ -210,6 +210,17 @@ func (w *Window) Contents(fn func(t tuple.Tuple) bool) {
 // Arrivals returns the total number of tuples admitted.
 func (w *Window) Arrivals() int64 { return w.count }
 
+// Discard empties a materialized window's backing buffer in one pass,
+// releasing its pages to the chunk arena. The multi-query executor calls it
+// when the last query referencing a shared source unregisters, so retired
+// window state is freed immediately instead of lingering until collection.
+func (w *Window) Discard() {
+	if w.buf != nil {
+		w.buf.Clear()
+	}
+	w.scratch = nil
+}
+
 // SaveState implements checkpoint.Snapshotter: the monotonicity cursor, the
 // arrival count, and — when materializing — the stored contents. The spec
 // itself comes from the plan and is covered by the restore fingerprint.

@@ -146,27 +146,27 @@ func NewRingSink(n int) *RingSink { return obs.NewRingSink(n) }
 
 // WithMetrics registers the compiled engine's instruments in reg and
 // enables wall-clock Push latency sampling.
-func WithMetrics(reg *MetricsRegistry) Option {
-	return func(c *compileCfg) { c.execCfg.Metrics = reg }
+func WithMetrics(reg *MetricsRegistry) RegistryOption {
+	return registryOption(func(c *compileCfg) { c.execCfg.Metrics = reg })
 }
 
 // WithTracer attaches a typed-event tracer to the compiled engine.
-func WithTracer(t *Tracer) Option {
-	return func(c *compileCfg) { c.execCfg.Tracer = t }
+func WithTracer(t *Tracer) RegistryOption {
+	return registryOption(func(c *compileCfg) { c.execCfg.Tracer = t })
 }
 
 // WithQueryLabel merges a {query: name} label into every metric series the
 // compiled engine registers, so one registry (and one exposition endpoint)
 // can carry several queries' series side by side.
-func WithQueryLabel(name string) Option {
-	return func(c *compileCfg) {
+func WithQueryLabel(name string) RegistryOption {
+	return registryOption(func(c *compileCfg) {
 		merged := obs.Labels{}
 		for k, v := range c.execCfg.MetricLabels {
 			merged[k] = v
 		}
 		merged["query"] = name
 		c.execCfg.MetricLabels = merged
-	}
+	})
 }
 
 // WithTraceSampling enables per-delta span tracing: one in every n admitted
@@ -176,8 +176,8 @@ func WithQueryLabel(name string) Option {
 // EvDeltaSpan; n <= 0 disables sampling (the default). Keep n large (say,
 // 1000+) on hot streams — sampling exists so spans stay within the <5%
 // instrumentation overhead budget.
-func WithTraceSampling(n int) Option {
-	return func(c *compileCfg) { c.execCfg.TraceSampleEvery = n }
+func WithTraceSampling(n int) RegistryOption {
+	return registryOption(func(c *compileCfg) { c.execCfg.TraceSampleEvery = n })
 }
 
 // MetricsHandler serves reg over HTTP: /metrics (Prometheus text format),
@@ -292,8 +292,8 @@ type HealthConfig struct {
 // state machine per rule. Implies metrics: when no WithMetrics registry
 // was given, a private one is created. The sampler goroutine starts at
 // Compile and stops at Close.
-func WithHealth(hc HealthConfig) Option {
-	return func(c *compileCfg) { c.health = &hc }
+func WithHealth(hc HealthConfig) RegistryOption {
+	return registryOption(func(c *compileCfg) { c.health = &hc })
 }
 
 // attachHealth builds the health subsystem post-construction; called by

@@ -23,22 +23,8 @@ func CompilePipeline(q Node, strategy Strategy, opts ...Option) (*PipelineEngine
 	if q.err != nil {
 		return nil, q.err
 	}
-	cfg := compileCfg{stats: plan.DefaultStats()}
-	for _, o := range opts {
-		o(&cfg)
-	}
-	root := q.n
-	if err := plan.Annotate(root, cfg.stats); err != nil {
-		return nil, err
-	}
-	if cfg.optimize {
-		best, err := plan.Optimize(root, strategy, cfg.stats)
-		if err != nil {
-			return nil, err
-		}
-		root = best
-	}
-	phys, err := plan.Build(root, strategy, cfg.planOpts)
+	cfg := applyOpts(opts)
+	_, phys, err := buildPhysical(q, strategy, &cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,379 @@
+package repro
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	"repro/internal/exec"
+	"repro/internal/obs"
+	"repro/internal/plan"
+)
+
+// Registry runs many continuous queries on one shared executor. Queries
+// registered with structurally identical sub-plans — same stream, window,
+// predicate, strategy, and update-pattern class — share one physical
+// operator and its state: each arrival traverses the shared prefix once and
+// the resulting deltas fan out to every query's private view. Sharing is
+// decided per plan node from immutable canonical descriptors, so it is
+// exact: a query's view is always byte-equivalent to what a standalone
+// engine compiled from the same query would hold.
+//
+// All methods must be driven from one goroutine, like Engine. A Registry
+// with one query is exactly Compile's sequential engine (Engine.Registry
+// exposes it); NewRegistry is the entry point for multi-query workloads.
+type Registry struct {
+	e      *exec.Engine
+	cfg    compileCfg
+	health *HealthMonitor
+	// mu guards the handle list alone (for PlanPage's HTTP goroutine);
+	// everything else follows the single-goroutine contract.
+	mu      sync.RWMutex
+	queries []*Query
+	nextID  int
+	closed  bool
+}
+
+// Query is a handle on one registered query: its private result view,
+// emission callback, EXPLAIN (with sharing annotations), per-operator
+// stats, and an extractable single-query checkpoint. Handles stay valid
+// until Unregister.
+type Query struct {
+	r    *Registry
+	h    *exec.QueryHandle
+	root *plan.Node
+	phys *plan.Physical
+}
+
+// NewRegistry builds an empty shared executor. Sharded execution
+// (WithShards) is single-query and rejected here — use Compile.
+func NewRegistry(opts ...RegistryOption) (*Registry, error) {
+	all := make([]Option, len(opts))
+	for i, o := range opts {
+		all[i] = o
+	}
+	cfg := applyOpts(all)
+	if cfg.shards > 1 {
+		return nil, fmt.Errorf("repro: sharded execution is single-query; compile WithShards through Compile")
+	}
+	if cfg.health != nil && cfg.execCfg.Metrics == nil {
+		cfg.execCfg.Metrics = NewMetricsRegistry()
+	}
+	r := &Registry{e: exec.NewMulti(cfg.execCfg), cfg: cfg}
+	if cfg.health != nil {
+		r.attachHealth(*cfg.health)
+	}
+	return r, nil
+}
+
+// Register compiles the query under the given strategy and adds it to the
+// shared dataflow, deduplicating sub-plans against every query already
+// registered. The new query starts cold — its windows begin filling from
+// the next arrival, and shared state it adopts reflects history it joined
+// late. Unnamed queries are auto-named "q0", "q1", ... in registration
+// order; names key per-query metric series and EXPLAIN share annotations.
+func (r *Registry) Register(q Node, strategy Strategy, opts ...QueryOption) (*Query, error) {
+	if r.closed {
+		return nil, ErrClosed
+	}
+	all := make([]Option, len(opts))
+	for i, o := range opts {
+		all[i] = o
+	}
+	qc := applyOpts(all)
+	// Planner settings are per-query; executor-wide settings come from the
+	// registry's own config.
+	qc.execCfg = r.cfg.execCfg
+	name := qc.name
+	if name == "" {
+		name = fmt.Sprintf("q%d", r.nextID)
+	}
+	root, phys, err := buildPhysical(q, strategy, &qc)
+	if err != nil {
+		return nil, err
+	}
+	h, err := r.e.RegisterQuery(exec.QuerySpec{Name: name, Phys: phys, OnEmit: qc.execCfg.OnEmit})
+	if err != nil {
+		return nil, fmt.Errorf("repro: register: %w", err)
+	}
+	r.nextID++
+	qh := &Query{r: r, h: h, root: root, phys: phys}
+	r.mu.Lock()
+	r.queries = append(r.queries, qh)
+	r.mu.Unlock()
+	return qh, nil
+}
+
+// Unregister removes the query from the shared dataflow. Plan nodes it
+// shared with surviving queries live on; nodes only it used are retired and
+// their state discarded. It returns the number of state tuples freed.
+func (r *Registry) Unregister(q *Query) (freed int, err error) {
+	if r.closed {
+		return 0, ErrClosed
+	}
+	freed, err = r.e.UnregisterQuery(q.h)
+	if err != nil {
+		return 0, fmt.Errorf("repro: unregister: %w", err)
+	}
+	r.mu.Lock()
+	for i, qq := range r.queries {
+		if qq == q {
+			r.queries = append(r.queries[:i], r.queries[i+1:]...)
+			break
+		}
+	}
+	r.mu.Unlock()
+	return freed, nil
+}
+
+// Queries lists the live handles in registration order.
+func (r *Registry) Queries() []*Query {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*Query, len(r.queries))
+	copy(out, r.queries)
+	return out
+}
+
+// PlanPage returns a /debug/plan page for the exposition endpoint: every
+// registered query's EXPLAIN tree as text, with "shared with ..."
+// annotations on operators and window sources serving other queries, and
+// live counters when ?analyze=1. Like Engine.PlanPage, the live mode reads
+// only atomically-updated instruments — safe to scrape while tuples flow.
+// Register/Unregister are not synchronized against an in-flight render
+// beyond the handle list itself, so a scrape racing a registration may show
+// a partially-annotated tree; the next scrape is consistent.
+func (r *Registry) PlanPage() MetricsPage {
+	return MetricsPage{
+		Path:  "/debug/plan",
+		Title: "EXPLAIN of every registered query (?analyze=1)",
+		Handler: func(w http.ResponseWriter, req *http.Request) {
+			analyze := req.URL.Query().Get("analyze") != ""
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			for _, q := range r.Queries() {
+				fmt.Fprintf(w, "=== %s ===\n", q.Name())
+				_ = q.h.Explain(analyze).WriteText(w)
+				fmt.Fprintln(w)
+			}
+		},
+	}
+}
+
+// SharingStats quantifies sub-plan sharing: how many plan nodes and window
+// sources the registered queries reference versus how many physical ones
+// exist, and how many of those serve more than one query.
+type SharingStats = exec.SharingStats
+
+// Sharing reports the registry's current sub-plan sharing statistics.
+func (r *Registry) Sharing() SharingStats { return r.e.Sharing() }
+
+// Push feeds one stream tuple to every query reading that stream.
+func (r *Registry) Push(streamID int, ts int64, vals ...Value) error {
+	if r.closed {
+		return ErrClosed
+	}
+	return r.e.Push(streamID, ts, vals...)
+}
+
+// PushBatch feeds many stream tuples at once (see Engine.PushBatch).
+func (r *Registry) PushBatch(batch []Arrival) error {
+	if r.closed {
+		return ErrClosed
+	}
+	return r.e.PushBatch(batch)
+}
+
+// Advance moves logical time forward without a tuple arrival.
+func (r *Registry) Advance(ts int64) error {
+	if r.closed {
+		return ErrClosed
+	}
+	return r.e.Advance(ts)
+}
+
+// Sync forces all pending maintenance so every view is Definition-1 exact.
+func (r *Registry) Sync() error { return r.e.Sync() }
+
+// Clock returns the registry's logical time.
+func (r *Registry) Clock() int64 { return r.e.Clock() }
+
+// Watermark returns the staleness low-watermark (see Engine.Watermark).
+func (r *Registry) Watermark() int64 { return r.e.Watermark() }
+
+// Streams returns the base stream IDs the registered queries read,
+// deduplicated, in registration order.
+func (r *Registry) Streams() []int { return r.e.Streams() }
+
+// Stats returns executor counters, summed over all queries.
+func (r *Registry) Stats() Stats { return r.e.Stats() }
+
+// StateTuples syncs and returns total stored tuples across the shared
+// dataflow and every query's view. Shared state is counted once.
+func (r *Registry) StateTuples() (int, error) {
+	if err := r.e.Sync(); err != nil {
+		return 0, err
+	}
+	return r.e.StateTuples(), nil
+}
+
+// Touched syncs and returns cumulative tuple touches across the shared
+// dataflow (the paper's Section 6 work measure).
+func (r *Registry) Touched() (int64, error) {
+	if err := r.e.Sync(); err != nil {
+		return 0, err
+	}
+	return r.e.Touched(), nil
+}
+
+// UpdateTable applies one table mutation at its timestamp, routing the
+// consequences through every plan that reads the table.
+func (r *Registry) UpdateTable(tbl *Table, u TableUpdate) error {
+	if r.closed {
+		return ErrClosed
+	}
+	return r.e.ApplyTableUpdate(tbl, u)
+}
+
+// Metrics returns the registry backing the engines' counters (the one given
+// WithMetrics, or a private one).
+func (r *Registry) Metrics() *MetricsRegistry { return r.e.Metrics() }
+
+// Health returns the health monitor, or nil unless built WithHealth.
+func (r *Registry) Health() *HealthMonitor { return r.health }
+
+// Checkpoint writes the full multi-query state — shared operator and window
+// state once, per-query views each — restorable by a registry that
+// registered the same queries (same names, plans, order); see Restore.
+// Single-query extraction is Query.Checkpoint.
+func (r *Registry) Checkpoint(w io.Writer) error {
+	if r.closed {
+		return ErrClosed
+	}
+	return r.e.CheckpointRegistry(w)
+}
+
+// Restore rehydrates a freshly built registry from a Checkpoint stream. The
+// checkpoint's registration fingerprint — query names, plans, and order —
+// is validated first; a disagreement fails with *MismatchError before any
+// state is touched.
+func (r *Registry) Restore(rd io.Reader) error {
+	if r.closed {
+		return ErrClosed
+	}
+	return r.e.RestoreRegistry(rd)
+}
+
+// Close stops the health sampler and marks the registry closed. Idempotent;
+// afterwards Register, Unregister, ingest, and checkpoint calls fail with
+// ErrClosed.
+func (r *Registry) Close() error {
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	r.health.Stop()
+	return nil
+}
+
+// attachHealth builds the health subsystem over the shared executor.
+func (r *Registry) attachHealth(hc HealthConfig) {
+	hcfg := obs.HistoryConfig{Capacity: hc.Capacity}
+	if hc.Interval > 0 {
+		hcfg.Interval = hc.Interval
+	}
+	hist := obs.NewHistory(r.e.Metrics(), hcfg)
+	hist.BeforeSample(obs.RegisterProcessMetrics(r.e.Metrics()))
+	rules := r.e.HealthRules(hc.SLO)
+	rules = append(rules, hc.Rules...)
+	h := obs.NewHealth(hist, rules...)
+	for _, s := range hc.Sinks {
+		h.AddSink(s)
+	}
+	r.health = h
+	if hc.Interval >= 0 {
+		h.Start()
+	}
+}
+
+// Name returns the query's (possibly auto-assigned) unique name.
+func (q *Query) Name() string { return q.h.Name() }
+
+// Schema returns the query's result schema.
+func (q *Query) Schema() *Schema { return q.h.Schema() }
+
+// Pattern returns the query's update-pattern class (root edge annotation).
+func (q *Query) Pattern() Pattern { return q.h.Pattern() }
+
+// Strategy returns the execution strategy the query was compiled under.
+func (q *Query) Strategy() Strategy { return q.h.Strategy() }
+
+// View exposes the query's private result view without syncing.
+func (q *Query) View() exec.View { return q.h.View() }
+
+// Snapshot syncs the registry and copies this query's current result rows.
+func (q *Query) Snapshot() ([]Tuple, error) {
+	if err := q.r.Sync(); err != nil {
+		return nil, err
+	}
+	return q.h.Snapshot()
+}
+
+// ResultCount syncs and returns this query's current result cardinality.
+func (q *Query) ResultCount() (int, error) {
+	if err := q.r.Sync(); err != nil {
+		return 0, err
+	}
+	return q.h.ResultCount()
+}
+
+// OnEmit sets (or, with nil, clears) the callback observing every output
+// tuple this query produces — insertions and retractions.
+func (q *Query) OnEmit(fn func(Tuple)) { q.h.SetOnEmit(fn) }
+
+// Explain writes the query's annotated physical plan; operators and window
+// sources serving other registered queries carry "shared with ..."
+// annotations naming them.
+func (q *Query) Explain(w io.Writer) error {
+	return q.h.Explain(false).WriteText(w)
+}
+
+// ExplainAnalyze syncs and writes the Explain tree with live counters.
+// Counters on shared operators report the physical work, summed over every
+// query the operator serves.
+func (q *Query) ExplainAnalyze(w io.Writer) error {
+	if err := q.r.Sync(); err != nil {
+		return err
+	}
+	return q.h.Explain(true).WriteText(w)
+}
+
+// ExplainDOT writes the Explain tree as a Graphviz digraph.
+func (q *Query) ExplainDOT(w io.Writer, analyze bool) error {
+	if analyze {
+		if err := q.r.Sync(); err != nil {
+			return err
+		}
+	}
+	return q.h.Explain(analyze).WriteDOT(w)
+}
+
+// OpStats returns per-operator runtime counters in this query's plan
+// pre-order. Rows for shared operators report the canonical node's
+// counters — the physical work, summed over every query it serves.
+func (q *Query) OpStats() []exec.OpProfile { return q.h.Profile() }
+
+// DeltaLatency snapshots this query's ingest→emit latency distributions by
+// output polarity. Requires WithMetrics and a named query; zero otherwise.
+func (q *Query) DeltaLatency() (pos, neg LatencySnapshot) { return q.h.DeltaLatency() }
+
+// Checkpoint extracts this query's slice of the registry in the standalone
+// single-engine format: the stream restores into an engine compiled by
+// Compile (or Open) from the same query and strategy, carrying exactly the
+// windows, operator state, and view this query observes.
+func (q *Query) Checkpoint(w io.Writer) error {
+	if q.r.closed {
+		return ErrClosed
+	}
+	return q.h.Checkpoint(w)
+}

@@ -1,0 +1,244 @@
+package repro_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+// connSchema mirrors the paper's connection records: source, destination,
+// protocol.
+func connSchema() *repro.Schema {
+	return repro.MustSchema(
+		repro.Column{Name: "src", Kind: repro.KindInt},
+		repro.Column{Name: "dst", Kind: repro.KindInt},
+		repro.Column{Name: "proto", Kind: repro.KindString},
+	)
+}
+
+// paperQueries builds facade equivalents of the Section 6 experimental
+// queries Q1–Q5 (join, duplicate elimination, negation, distinct-join, and
+// negation-below-join), each a fresh Node per call.
+func paperQueries(win int64) map[string]func() repro.Node {
+	sch := connSchema()
+	w := func(link int) repro.Node { return repro.Stream(link, sch, repro.TimeWindow(win)) }
+	sel := func(link int, proto string) repro.Node {
+		return w(link).Where(repro.Col("proto").EqStr(proto))
+	}
+	return map[string]func() repro.Node{
+		"q1-join": func() repro.Node {
+			return sel(0, "ftp").JoinOn(sel(1, "ftp"), "src")
+		},
+		"q2-distinct": func() repro.Node {
+			return w(0).Select("src").Distinct()
+		},
+		"q3-negation": func() repro.Node {
+			return w(0).Except(w(1), []string{"src"}, []string{"src"})
+		},
+		"q4-distinct-join": func() repro.Node {
+			d := func(link int) repro.Node { return w(link).Select("src").Distinct() }
+			return d(0).JoinOn(d(1), "src")
+		},
+		"q5-pushdown": func() repro.Node {
+			neg := w(0).Except(w(1), []string{"src"}, []string{"src"})
+			return neg.JoinOn(sel(2, "ftp"), "src")
+		},
+	}
+}
+
+// bagOf renders rows as a sorted multiset fingerprint; Snapshot order is
+// unspecified, so conformance is bag equality.
+func bagOf(rows []repro.Tuple) string {
+	keys := make([]string, len(rows))
+	for i, t := range rows {
+		keys[i] = fmt.Sprint(t.Vals)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, "\n")
+}
+
+func pushConn(t *testing.T, push func(stream int, ts int64, vals ...repro.Value) error, n int) {
+	t.Helper()
+	protos := []string{"ftp", "telnet", "smtp", "http"}
+	for i := 0; i < n; i++ {
+		ts := int64(i + 1)
+		err := push(i%3, ts,
+			repro.Int(int64(i*7%13)), repro.Int(int64(i*3%7)), repro.Str(protos[i%4]))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestRegistryConformance registers all five paper queries on one registry
+// per strategy and checks every query's view is bag-equal to a standalone
+// engine compiled from the same query — the tentpole's exactness contract.
+func TestRegistryConformance(t *testing.T) {
+	for _, strat := range []repro.Strategy{repro.NT, repro.Direct, repro.UPA} {
+		t.Run(strat.String(), func(t *testing.T) {
+			reg, err := repro.NewRegistry()
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer reg.Close()
+			builders := paperQueries(40)
+			names := make([]string, 0, len(builders))
+			for name := range builders {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			handles := map[string]*repro.Query{}
+			twins := map[string]*repro.Engine{}
+			for _, name := range names {
+				h, err := reg.Register(builders[name](), strat, repro.WithQueryName(name))
+				if err != nil {
+					t.Fatalf("register %s: %v", name, err)
+				}
+				handles[name] = h
+				twin, err := repro.Compile(builders[name](), strat)
+				if err != nil {
+					t.Fatalf("compile twin %s: %v", name, err)
+				}
+				twins[name] = twin
+			}
+			if s := reg.Sharing(); s.SharedSources == 0 {
+				t.Fatalf("paper queries share no window sources: %+v", s)
+			}
+			pushConn(t, func(stream int, ts int64, vals ...repro.Value) error {
+				if err := reg.Push(stream, ts, vals...); err != nil {
+					return err
+				}
+				for _, tw := range twins {
+					ok := false
+					for _, id := range tw.Streams() {
+						if id == stream {
+							ok = true
+						}
+					}
+					if !ok {
+						continue
+					}
+					if err := tw.Push(stream, ts, vals...); err != nil {
+						return err
+					}
+				}
+				return nil
+			}, 120)
+			for _, name := range names {
+				rows, err := handles[name].Snapshot()
+				if err != nil {
+					t.Fatalf("%s snapshot: %v", name, err)
+				}
+				want, err := twins[name].Snapshot()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got, wantBag := bagOf(rows), bagOf(want); got != wantBag {
+					t.Errorf("%s (%v) diverged from standalone\ngot:\n%s\nwant:\n%s",
+						name, strat, got, wantBag)
+				}
+			}
+		})
+	}
+}
+
+// TestRegistryFacadeChurn randomly registers, unregisters, and pushes. One
+// pinned query registered cold at the start must keep tracking a standalone
+// twin fed the same arrivals no matter what churns around it (queries
+// registered later adopt its warm shared state, so only the cold-start
+// query has a meaningful twin), and draining the registry must free all
+// state.
+func TestRegistryFacadeChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	reg, err := repro.NewRegistry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	builders := paperQueries(30)
+	names := make([]string, 0, len(builders))
+	for name := range builders {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	// The pinned query reads all three streams, so every push reaches both
+	// the registry and the twin.
+	pinned, err := reg.Register(builders["q5-pushdown"](), repro.UPA, repro.WithQueryName("pinned"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	twin, err := repro.Compile(builders["q5-pushdown"](), repro.UPA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var live []*repro.Query
+	ts := int64(0)
+	protos := []string{"ftp", "telnet", "smtp", "http"}
+	for step := 0; step < 120; step++ {
+		switch {
+		case rng.Intn(3) == 0:
+			name := names[rng.Intn(len(names))]
+			h, err := reg.Register(builders[name](), repro.UPA)
+			if err != nil {
+				t.Fatal(err)
+			}
+			live = append(live, h)
+		case rng.Intn(2) == 0 && len(live) > 0:
+			i := rng.Intn(len(live))
+			if _, err := reg.Unregister(live[i]); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live[:i], live[i+1:]...)
+		default:
+			for k := 0; k < 4; k++ {
+				ts++
+				vals := []repro.Value{
+					repro.Int(ts * 7 % 13), repro.Int(ts * 3 % 7),
+					repro.Str(protos[int(ts)%4]),
+				}
+				if err := reg.Push(int(ts)%3, ts, vals...); err != nil {
+					t.Fatal(err)
+				}
+				if err := twin.Push(int(ts)%3, ts, vals...); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if step%17 == 0 {
+			rows, err := pinned.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := twin.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, wantBag := bagOf(rows), bagOf(want); got != wantBag {
+				t.Fatalf("step %d: pinned query diverged from twin\ngot:\n%s\nwant:\n%s",
+					step, got, wantBag)
+			}
+		}
+	}
+	for _, h := range live {
+		if _, err := reg.Unregister(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := reg.Unregister(pinned); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(reg.Queries()); n != 0 {
+		t.Fatalf("%d queries left after draining", n)
+	}
+	left, err := reg.StateTuples()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if left != 0 {
+		t.Fatalf("%d state tuples leaked after draining the registry", left)
+	}
+}

@@ -1,0 +1,127 @@
+package repro_test
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+// TestRegistryCISmoke is the CI multi-query smoke: register 8 queries on one
+// registry, push traffic, unregister half, push more, and require (a) every
+// survivor's view to stay bag-equal to a standalone twin fed the same
+// arrivals, (b) unregistration to free state, and (c) the /debug/plan page
+// to carry "shared with" annotations.
+func TestRegistryCISmoke(t *testing.T) {
+	sch := connSchema()
+	w := func(link int) repro.Node { return repro.Stream(link, sch, repro.TimeWindow(30)) }
+	sel := func(link int, proto string) repro.Node {
+		return w(link).Where(repro.Col("proto").EqStr(proto))
+	}
+	join := func(proto string) func() repro.Node {
+		return func() repro.Node { return sel(0, proto).JoinOn(sel(1, proto), "src") }
+	}
+	paper := paperQueries(30)
+	// Survivors sit at even indices and together read streams 0..2, so the
+	// push loop stays valid after the odd half is unregistered.
+	specs := []struct {
+		name  string
+		build func() repro.Node
+	}{
+		{"q5-pushdown", paper["q5-pushdown"]},
+		{"q3-negation", paper["q3-negation"]},
+		{"q1-ftp", paper["q1-join"]},
+		{"q4-distinct-join", paper["q4-distinct-join"]},
+		{"q2-distinct", paper["q2-distinct"]},
+		{"j-smtp", join("smtp")},
+		{"j-telnet", join("telnet")},
+		{"j-http", join("http")},
+	}
+	reg, err := repro.NewRegistry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	handles := make([]*repro.Query, len(specs))
+	twins := make([]*repro.Engine, len(specs))
+	for i, s := range specs {
+		if handles[i], err = reg.Register(s.build(), repro.UPA, repro.WithQueryName(s.name)); err != nil {
+			t.Fatalf("register %s: %v", s.name, err)
+		}
+		if i%2 == 0 {
+			if twins[i], err = repro.Compile(s.build(), repro.UPA); err != nil {
+				t.Fatalf("compile twin %s: %v", s.name, err)
+			}
+		}
+	}
+	if s := reg.Sharing(); s.SharedSources == 0 || s.SharedNodes == 0 {
+		t.Fatalf("8 paper-derived queries must share sub-plans: %+v", s)
+	}
+
+	page := reg.PlanPage()
+	rr := httptest.NewRecorder()
+	page.Handler(rr, httptest.NewRequest("GET", page.Path, nil))
+	if !strings.Contains(rr.Body.String(), "shared with") {
+		t.Fatalf("/debug/plan carries no share annotations:\n%s", rr.Body.String())
+	}
+
+	protos := []string{"ftp", "telnet", "smtp", "http"}
+	ts := int64(0)
+	push := func(n int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			ts++
+			stream := int(ts) % 3
+			vals := []repro.Value{
+				repro.Int(ts * 7 % 13), repro.Int(ts * 3 % 7), repro.Str(protos[int(ts)%4]),
+			}
+			if err := reg.Push(stream, ts, vals...); err != nil {
+				t.Fatal(err)
+			}
+			for _, tw := range twins {
+				if tw == nil {
+					continue
+				}
+				for _, id := range tw.Streams() {
+					if id == stream {
+						if err := tw.Push(stream, ts, vals...); err != nil {
+							t.Fatal(err)
+						}
+						break
+					}
+				}
+			}
+		}
+	}
+	push(120)
+	freed := 0
+	for i := 1; i < len(specs); i += 2 {
+		n, err := reg.Unregister(handles[i])
+		if err != nil {
+			t.Fatalf("unregister %s: %v", specs[i].name, err)
+		}
+		freed += n
+	}
+	if freed == 0 {
+		t.Error("unregistering half the queries freed no state")
+	}
+	if n := len(reg.Queries()); n != len(specs)/2 {
+		t.Fatalf("%d queries live after unregistering half, want %d", n, len(specs)/2)
+	}
+	push(120)
+	for i := 0; i < len(specs); i += 2 {
+		rows, err := handles[i].Snapshot()
+		if err != nil {
+			t.Fatalf("%s snapshot: %v", specs[i].name, err)
+		}
+		want, err := twins[i].Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, wantBag := bagOf(rows), bagOf(want); got != wantBag {
+			t.Errorf("%s diverged from standalone after churn\ngot:\n%s\nwant:\n%s",
+				specs[i].name, got, wantBag)
+		}
+	}
+}

@@ -184,8 +184,46 @@ func CountWindow(n int64) window.Spec { return window.Spec{Type: window.CountBas
 // Unbounded is a raw, windowless stream (monotonic queries only).
 func Unbounded() window.Spec { return window.Unbounded }
 
-// Option tunes compilation and execution.
-type Option func(*compileCfg)
+// Option tunes compilation and execution. Every concrete option is either a
+// RegistryOption (executor-wide: sharding, metrics, health, maintenance
+// cadence) or a QueryOption (per-query: planning choices, naming, emission
+// callbacks). Compile and Open accept both kinds — a single-query engine is
+// a registry with one query, so the distinction collapses there — while
+// NewRegistry takes only RegistryOptions and Registry.Register only
+// QueryOptions, so misfiled options are compile errors rather than silent
+// no-ops.
+type Option interface {
+	apply(*compileCfg)
+}
+
+// RegistryOption configures the shared executor that all queries registered
+// on one Registry run on: shard/worker topology, observability wiring
+// (metrics, tracing, health), and the maintenance cadence every shared plan
+// node follows. Accepted by NewRegistry, Compile, and Open.
+type RegistryOption interface {
+	Option
+	registryOption()
+}
+
+// QueryOption configures one registered query: its planner settings, state
+// structure choices, estimation statistics, name, and emission callback.
+// Accepted by Registry.Register, Compile, and Open.
+type QueryOption interface {
+	Option
+	queryOption()
+}
+
+// registryOption and queryOption are the concrete Option kinds; funcs keep
+// the existing constructor bodies unchanged.
+type registryOption func(*compileCfg)
+
+func (o registryOption) apply(c *compileCfg) { o(c) }
+func (o registryOption) registryOption()     {}
+
+type queryOption func(*compileCfg)
+
+func (o queryOption) apply(c *compileCfg) { o(c) }
+func (o queryOption) queryOption()        {}
 
 type compileCfg struct {
 	planOpts plan.Options
@@ -194,76 +232,128 @@ type compileCfg struct {
 	stats    plan.Stats
 	shards   int
 	health   *HealthConfig
+	name     string
+}
+
+// applyOpts runs options over a fresh config.
+func applyOpts(opts []Option) compileCfg {
+	cfg := compileCfg{stats: plan.DefaultStats()}
+	for _, o := range opts {
+		o.apply(&cfg)
+	}
+	return cfg
 }
 
 // WithPartitions sets the partition count of partitioned state buffers
 // (default 10).
-func WithPartitions(n int) Option {
-	return func(c *compileCfg) { c.planOpts.Partitions = n }
+func WithPartitions(n int) QueryOption {
+	return queryOption(func(c *compileCfg) { c.planOpts.Partitions = n })
 }
 
 // WithSTRPartitioned forces the partitioned storage for strict results.
-func WithSTRPartitioned() Option {
-	return func(c *compileCfg) { c.planOpts.STR = plan.STRPartitioned }
+func WithSTRPartitioned() QueryOption {
+	return queryOption(func(c *compileCfg) { c.planOpts.STR = plan.STRPartitioned })
 }
 
 // WithSTRHash forces the hash/negative-tuple storage for strict results.
-func WithSTRHash() Option {
-	return func(c *compileCfg) { c.planOpts.STR = plan.STRHash }
+func WithSTRHash() QueryOption {
+	return queryOption(func(c *compileCfg) { c.planOpts.STR = plan.STRHash })
 }
 
 // WithLazyInterval sets the lazy maintenance interval in time units.
-func WithLazyInterval(n int64) Option {
-	return func(c *compileCfg) { c.execCfg.LazyInterval = n }
+// Registry-wide: shared plan nodes are maintained on one cadence.
+func WithLazyInterval(n int64) RegistryOption {
+	return registryOption(func(c *compileCfg) { c.execCfg.LazyInterval = n })
 }
 
 // WithEagerInterval sets the eager expiration interval in time units.
-func WithEagerInterval(n int64) Option {
-	return func(c *compileCfg) { c.execCfg.EagerInterval = n }
+// Registry-wide: shared plan nodes are maintained on one cadence.
+func WithEagerInterval(n int64) RegistryOption {
+	return registryOption(func(c *compileCfg) { c.execCfg.EagerInterval = n })
 }
 
 // WithOnEmit observes every output-stream tuple (insertions and
-// retractions) as it is produced.
-func WithOnEmit(fn func(Tuple)) Option {
-	return func(c *compileCfg) { c.execCfg.OnEmit = fn }
+// retractions) this query produces. Per-query: on a shared plan each query
+// sees its own output stream, not its neighbors'.
+func WithOnEmit(fn func(Tuple)) QueryOption {
+	return queryOption(func(c *compileCfg) { c.execCfg.OnEmit = fn })
 }
 
 // WithOptimizer runs the update-pattern-aware rewrite optimizer
 // (Section 5.4.2) before physical planning.
-func WithOptimizer() Option {
-	return func(c *compileCfg) { c.optimize = true }
+func WithOptimizer() QueryOption {
+	return queryOption(func(c *compileCfg) { c.optimize = true })
+}
+
+// WithQueryName names the query for handles, EXPLAIN share annotations
+// ("shared with q2"), and per-query metric series ({query: name} labels).
+// Names must be unique within a registry. Registry.Register auto-names
+// unnamed queries "q0", "q1", ... in registration order.
+func WithQueryName(name string) QueryOption {
+	return queryOption(func(c *compileCfg) { c.name = name })
 }
 
 // WithShards runs the query key-partitioned across n parallel shards when
 // the plan admits a routing key (see plan.PartitionKey); otherwise the
 // engine silently runs sequentially and ShardFallbackReason explains why.
 // Sharded engines should be Closed when done to stop their workers.
-func WithShards(n int) Option {
-	return func(c *compileCfg) { c.shards = n }
+// Sharded execution is single-query: NewRegistry rejects it.
+func WithShards(n int) RegistryOption {
+	return registryOption(func(c *compileCfg) { c.shards = n })
 }
 
 // WithStreamStats supplies estimation statistics for one stream (arrival
 // rate and per-column distinct counts), improving cost-based decisions.
-func WithStreamStats(streamID int, rate float64, distinct map[int]float64) Option {
-	return func(c *compileCfg) {
+func WithStreamStats(streamID int, rate float64, distinct map[int]float64) QueryOption {
+	return queryOption(func(c *compileCfg) {
 		if c.stats.Streams == nil {
 			c.stats.Streams = map[int]plan.StreamStats{}
 		}
 		c.stats.Streams[streamID] = plan.StreamStats{Rate: rate, Distinct: distinct}
-	}
+	})
 }
 
 // Engine executes one compiled continuous query, either on a single
 // sequential executor or key-partitioned across parallel shards
-// (WithShards). Exactly one of seq/sh is set; every method delegates to
-// whichever is live.
+// (WithShards). A sequential engine is a thin wrapper over a one-query
+// Registry — the same shared executor that serves multi-query workloads —
+// and exposes that registry through the Registry and Query accessors.
+// Exactly one of seq/sh is set; every method delegates to whichever is
+// live.
 type Engine struct {
 	seq    *exec.Engine
 	sh     *exec.Sharded
+	reg    *Registry // backing one-query registry (sequential only)
+	q      *Query    // its single query handle
 	phys   *plan.Physical
 	root   *plan.Node
 	health *HealthMonitor
 	closed bool
+}
+
+// buildPhysical runs the compilation pipeline — annotate, optionally
+// optimize, physically plan — shared by Compile, CompilePipeline, and
+// Registry.Register.
+func buildPhysical(q Node, strategy Strategy, cfg *compileCfg) (*plan.Node, *plan.Physical, error) {
+	if q.err != nil {
+		return nil, nil, fmt.Errorf("repro: invalid query: %w", q.err)
+	}
+	root := q.n
+	if err := plan.Annotate(root, cfg.stats); err != nil {
+		return nil, nil, fmt.Errorf("repro: annotate: %w", err)
+	}
+	if cfg.optimize {
+		best, err := plan.Optimize(root, strategy, cfg.stats)
+		if err != nil {
+			return nil, nil, fmt.Errorf("repro: optimize: %w", err)
+		}
+		root = best
+	}
+	phys, err := plan.Build(root, strategy, cfg.planOpts)
+	if err != nil {
+		return nil, nil, fmt.Errorf("repro: plan: %w", err)
+	}
+	return root, phys, nil
 }
 
 // Compile annotates, (optionally) optimizes, physically plans, and
@@ -271,33 +361,19 @@ type Engine struct {
 // compilation stage (query validation, annotation, optimization, physical
 // planning, executor construction) with the underlying cause preserved for
 // errors.Is/As.
+//
+// A non-sharded Compile is a one-query registry: the engine's Registry()
+// can register further queries that share sub-plans with this one.
 func Compile(q Node, strategy Strategy, opts ...Option) (*Engine, error) {
-	if q.err != nil {
-		return nil, fmt.Errorf("repro: invalid query: %w", q.err)
-	}
-	cfg := compileCfg{stats: plan.DefaultStats()}
-	for _, o := range opts {
-		o(&cfg)
-	}
-	root := q.n
+	cfg := applyOpts(opts)
 	if cfg.health != nil && cfg.execCfg.Metrics == nil {
 		// Health needs instrumented series; a private registry keeps the
 		// monitor self-contained when the caller did not supply one.
 		cfg.execCfg.Metrics = NewMetricsRegistry()
 	}
-	if err := plan.Annotate(root, cfg.stats); err != nil {
-		return nil, fmt.Errorf("repro: annotate: %w", err)
-	}
-	if cfg.optimize {
-		best, err := plan.Optimize(root, strategy, cfg.stats)
-		if err != nil {
-			return nil, fmt.Errorf("repro: optimize: %w", err)
-		}
-		root = best
-	}
-	phys, err := plan.Build(root, strategy, cfg.planOpts)
+	root, phys, err := buildPhysical(q, strategy, &cfg)
 	if err != nil {
-		return nil, fmt.Errorf("repro: plan: %w", err)
+		return nil, err
 	}
 	out := &Engine{phys: phys, root: root}
 	if cfg.shards > 1 {
@@ -307,17 +383,41 @@ func Compile(q Node, strategy Strategy, opts ...Option) (*Engine, error) {
 		}
 		out.sh = sh
 	} else {
-		eng, err := exec.New(phys, cfg.execCfg)
+		// The sequential engine is a registry with this as its only query.
+		// The query stays unnamed so its metric series match a standalone
+		// engine's exactly; name it with WithQueryName to get per-query
+		// series alongside.
+		r := &Registry{e: exec.NewMulti(cfg.execCfg), cfg: cfg}
+		h, err := r.e.RegisterQuery(exec.QuerySpec{
+			Name: cfg.name, Phys: phys, OnEmit: cfg.execCfg.OnEmit,
+		})
 		if err != nil {
 			return nil, fmt.Errorf("repro: executor: %w", err)
 		}
-		out.seq = eng
+		qh := &Query{r: r, h: h, root: root, phys: phys}
+		r.queries = append(r.queries, qh)
+		r.nextID = 1
+		out.seq = r.e
+		out.reg = r
+		out.q = qh
 	}
 	if cfg.health != nil {
 		out.attachHealth(*cfg.health)
+		if out.reg != nil {
+			out.reg.health = out.health
+		}
 	}
 	return out, nil
 }
+
+// Registry returns the one-query registry backing a sequential engine —
+// register further queries on it to share this query's sub-plans — or nil
+// on a sharded engine (sharded execution is single-query).
+func (e *Engine) Registry() *Registry { return e.reg }
+
+// Query returns the engine's query handle on its backing registry, or nil
+// on a sharded engine.
+func (e *Engine) Query() *Query { return e.q }
 
 // Open compiles the query and restores the engine's state from a checkpoint
 // written by an engine compiled from the same query, strategy, and options
@@ -498,6 +598,7 @@ func (e *Engine) Close() error {
 	if e.sh != nil {
 		return e.sh.Close()
 	}
+	e.reg.closed = true
 	return nil
 }
 
