@@ -84,6 +84,7 @@ var queryNames = map[string]bench.Query{
 	"q4":          bench.Q4DistinctJoin,
 	"q5-pushdown": bench.Q5PushDown,
 	"q5-pullup":   bench.Q5PullUp,
+	"q6-groupby":  bench.Q6GroupBy,
 }
 
 // multiFlag collects repeated occurrences of one flag.

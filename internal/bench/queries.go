@@ -42,6 +42,11 @@ const (
 	// Q5PullUp is the same query with negation pulled above the join
 	// (Figure 6, left).
 	Q5PullUp
+	// Q6GroupBy aggregates one link per protocol (count and summed payload)
+	// — the Section 2.1 group-by over a sliding window. It is the stateful-
+	// tail workload of the columnar-kernel experiment (e12): every arrival
+	// and every expiration touches the per-group state.
+	Q6GroupBy
 )
 
 // String names the query as used in report tables.
@@ -65,6 +70,8 @@ func (q Query) String() string {
 		return "Q5-pushdown"
 	case Q5PullUp:
 		return "Q5-pullup"
+	case Q6GroupBy:
+		return "Q6-groupby-protocol"
 	default:
 		return fmt.Sprintf("query(%d)", int(q))
 	}
@@ -73,7 +80,7 @@ func (q Query) String() string {
 // Links returns the number of logical streams the query reads.
 func (q Query) Links() int {
 	switch q {
-	case Q2Distinct, Q2Pairs:
+	case Q2Distinct, Q2Pairs, Q6GroupBy:
 		return 1
 	case Q5PushDown, Q5PullUp:
 		return 3
@@ -138,6 +145,10 @@ func BuildPlan(q Query, windowSize int64) *plan.Node {
 	case Q5PullUp:
 		join := plan.NewJoin(win(0), protoSel(2, "ftp"), []int{trace.ColSrc}, []int{trace.ColSrc})
 		return plan.NewNegate(join, win(1), []int{trace.ColSrc}, []int{trace.ColSrc})
+	case Q6GroupBy:
+		return plan.NewGroupBy(win(0), []int{trace.ColProtocol},
+			operator.AggSpec{Kind: operator.Count},
+			operator.AggSpec{Kind: operator.Sum, Col: trace.ColPayload})
 	default:
 		panic(fmt.Sprintf("bench: unknown query %d", q))
 	}
@@ -163,5 +174,5 @@ func PlanStats(q Query, srcHosts int) plan.Stats {
 
 // AllQueries lists every experimental query.
 func AllQueries() []Query {
-	return []Query{Q1FTP, Q1Telnet, Q2Distinct, Q2Pairs, Q3Negation, Q3Disjoint, Q4DistinctJoin, Q5PushDown, Q5PullUp}
+	return []Query{Q1FTP, Q1Telnet, Q2Distinct, Q2Pairs, Q3Negation, Q3Disjoint, Q4DistinctJoin, Q5PushDown, Q5PullUp, Q6GroupBy}
 }

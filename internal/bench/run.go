@@ -128,6 +128,16 @@ type RunConfig struct {
 	// shards with batched ingest (DESIGN.md "Sharded execution"), falling
 	// back to one shard when the plan admits no routing key.
 	Shards int
+	// Batch > 0 feeds a sequential run through PushBatch in chunks of that
+	// many arrivals instead of per-tuple Push. Batched ingest is what lets
+	// the engine coalesce same-timestamp runs and take the columnar path;
+	// per-tuple Push (the default) measures the paper's arrival-at-a-time
+	// regime. Ignored when Shards > 1 (sharded ingest is always batched).
+	Batch int
+	// NoColumnar pins the engine to the row batch path even when the plan
+	// and ingest mode would admit the columnar kernels — the control leg of
+	// the row-vs-columnar experiment (e12).
+	NoColumnar bool
 	// Health monitors the run with the engine's built-in health rules
 	// (manual ticks every healthTickEvery tuples) and records alert
 	// transitions on the Result. Implies a metrics registry. EnableHealth
@@ -189,6 +199,10 @@ type Result struct {
 	// sharded run degraded to one shard.
 	Shards        int
 	ShardFallback string
+	// Columnar reports whether the engine finished the run on the columnar
+	// kernel path (sequential runs only; requires batched ingest and a plan
+	// with full kernel coverage, and survives only if no run demoted it).
+	Columnar bool
 	// Allocs/AllocBytes are process-wide heap allocation deltas across the
 	// timed region (runtime.ReadMemStats before and after, so sharded
 	// workers are covered too). They track the allocation trajectory of the
@@ -255,6 +269,7 @@ func Run(q Query, rc RunConfig) (Result, error) {
 	cfg := exec.Config{
 		EagerInterval: 1, LazyInterval: lazy,
 		Metrics: rc.Metrics, Tracer: rc.Tracer,
+		NoColumnar: rc.NoColumnar,
 	}
 
 	links := q.Links()
@@ -287,17 +302,42 @@ func Run(q Query, rc RunConfig) (Result, error) {
 	runtime.ReadMemStats(&m0)
 	start := time.Now()
 	var n int64
-	for {
-		rec, ok := gen.Next()
-		if !ok {
-			break
+	if rc.Batch > 0 {
+		batch := make([]exec.Arrival, 0, rc.Batch)
+		for {
+			rec, ok := gen.Next()
+			if !ok {
+				break
+			}
+			batch = append(batch, exec.Arrival{Stream: rec.Link, TS: rec.TS, Vals: rec.Vals})
+			if len(batch) == rc.Batch {
+				if err := eng.PushBatch(batch); err != nil {
+					return Result{}, fmt.Errorf("bench %v: push: %w", q, err)
+				}
+				batch = batch[:0]
+				n += int64(rc.Batch)
+				if rh != nil && n%healthTickEvery == 0 {
+					rh.mon.Tick()
+				}
+			}
 		}
-		if err := eng.Push(rec.Link, rec.TS, rec.Vals...); err != nil {
+		if err := eng.PushBatch(batch); err != nil {
 			return Result{}, fmt.Errorf("bench %v: push: %w", q, err)
 		}
-		n++
-		if rh != nil && n%healthTickEvery == 0 {
-			rh.mon.Tick()
+		n += int64(len(batch))
+	} else {
+		for {
+			rec, ok := gen.Next()
+			if !ok {
+				break
+			}
+			if err := eng.Push(rec.Link, rec.TS, rec.Vals...); err != nil {
+				return Result{}, fmt.Errorf("bench %v: push: %w", q, err)
+			}
+			n++
+			if rh != nil && n%healthTickEvery == 0 {
+				rh.mon.Tick()
+			}
 		}
 	}
 	if err := eng.Sync(); err != nil {
@@ -327,6 +367,7 @@ func Run(q Query, rc RunConfig) (Result, error) {
 		Metrics:         eng.Metrics().Snapshot(),
 		Ops:             eng.Profile(),
 		Shards:          1,
+		Columnar:        eng.Columnar(),
 		LatencyPos:      latPos,
 		LatencyNeg:      latNeg,
 		Violations:      eng.Violations(),

@@ -5,16 +5,18 @@ import (
 	"repro/internal/operator"
 	"repro/internal/plan"
 	"repro/internal/tuple"
+	"repro/internal/window"
 )
 
 // Columnar execution path. When a plan qualifies (colPlanSupported), ingest
 // runs lay out arrivals as per-column typed vectors at the window boundary —
 // string values interned to dense ids, expiration stamped in one vectorized
-// pass — and flow through the operator kernels of operator/colkernel.go
+// pass (or admitted wholesale into a materialized NT window) — and flow
+// through the operator kernels of operator/colkernel.go and colstateful.go
 // without ever materializing row tuples except where state or the view
 // requires them. The fallback ladder is per plan, then per engine:
 //
-//   - plan-time: any operator without a kernel, a materialized (NT) window, a
+//   - plan-time: any operator without a kernel, a count-based window, a
 //     stream feeding several windows, or a non-scalar column kind keeps the
 //     whole plan on the row batch path (colOK never set);
 //   - run-time: the first arrival whose value kinds disagree with its stream
@@ -45,9 +47,10 @@ func (e *Engine) colPlanSupported() bool {
 		if counts[s.StreamID] != 1 {
 			return false
 		}
-		// Materialized windows (the NT strategy, count-based windows) evict
-		// per arrival; StampRun cannot vectorize them.
-		if s.Window.Materialized() {
+		// Count-based windows evict per arrival; no run-grained admission.
+		// Materialized time-based windows (the NT strategy) admit whole runs
+		// through AdmitRunCols.
+		if s.Window.Spec().Type == window.CountBased {
 			return false
 		}
 		if !tuple.ColumnarKinds(s.Schema) {
@@ -64,6 +67,13 @@ func (e *Engine) colPlanSupported() bool {
 	}
 	return true
 }
+
+// Columnar reports whether the engine currently routes batched source runs
+// through the columnar kernels — false when Config.NoColumnar pins it to the
+// row path, when the plan has no full kernel coverage, or after a runtime
+// demotion. Experiment harnesses use it to verify the leg under measurement
+// is actually the leg that ran.
+func (e *Engine) Columnar() bool { return e.colOK }
 
 // initColPath allocates the per-source and per-node batch buffers the
 // columnar path stages runs in. One buffer per plan edge suffices: a run
@@ -115,7 +125,12 @@ func (e *Engine) ingestRunCols(src *plan.PSource, ts int64, run []Arrival) (hand
 		e.colDemoted = true
 		return false, nil
 	}
-	exp, err := src.Window.StampRun(ts, cb.Len())
+	var exp int64
+	if src.Window.Materialized() {
+		exp, err = src.Window.AdmitRunCols(ts, cb, e.intern)
+	} else {
+		exp, err = src.Window.StampRun(ts, cb.Len())
+	}
 	if err != nil {
 		return true, err
 	}

@@ -75,12 +75,11 @@ func buildColEngine(t *testing.T, q ckptQuery, strat plan.Strategy, cfg Config) 
 // TestColumnarRowBatchEquivalence runs every paper query under every strategy
 // twice — columnar enabled (the default) and pinned to the row batch path —
 // over an identical bursty trace, and demands identical visible state.
-// Eligibility is pinned per query so the comparison can't silently go vacuous:
-// only Q1 is built purely from kernel-covered operators (Select, Project,
-// Union, Join); Distinct and Negate have no kernels, and the NT strategy
-// materializes its windows, so those plans must fall back.
+// Eligibility is pinned so the comparison can't silently go vacuous: with
+// kernels covering the stateful tail (GroupBy, Distinct, Negate) and
+// AdmitRunCols feeding NT's materialized windows, every paper query must
+// engage the columnar path under every strategy.
 func TestColumnarRowBatchEquivalence(t *testing.T) {
-	colEligible := map[string]bool{"Q1-join-of-selects": true}
 	for _, q := range ckptQueries() {
 		for _, strat := range []plan.Strategy{plan.NT, plan.Direct, plan.UPA} {
 			t.Run(fmt.Sprintf("%s/%v", q.name, strat), func(t *testing.T) {
@@ -91,9 +90,8 @@ func TestColumnarRowBatchEquivalence(t *testing.T) {
 				if row.colOK {
 					t.Fatal("NoColumnar engine reports colOK")
 				}
-				want := strat != plan.NT && colEligible[q.name]
-				if col.colOK != want {
-					t.Fatalf("colOK = %v, want %v for %s under %v", col.colOK, want, q.name, strat)
+				if !col.colOK {
+					t.Fatalf("colOK = false, want true for %s under %v", q.name, strat)
 				}
 
 				batchFeed(t, col, trace)
@@ -171,6 +169,59 @@ func TestColumnarRuntimeDemotion(t *testing.T) {
 			t.Fatal("kind-nonconforming Push did not demote the engine")
 		}
 	})
+}
+
+// TestColumnarStatefulDemotionMidRun drives the run-time ladder through the
+// stateful tail: a kind-nonconforming arrival lands mid-trace in plans whose
+// kernels mutate operator state (Distinct, Negate, GroupBy downstream of
+// windows), after a checkpoint cut at an arbitrary non-batch boundary. The
+// restored engine must resume columnar, demote exactly when the bad run
+// arrives, replay that run through the row path byte-exactly, and finish
+// indistinguishable from a twin that never ran columnar at all — columnar
+// state and row state are the same state.
+func TestColumnarStatefulDemotionMidRun(t *testing.T) {
+	for _, q := range []ckptQuery{ckptQueries()[1], ckptQueries()[2], ckptQueries()[4]} {
+		for _, strat := range []plan.Strategy{plan.NT, plan.UPA} {
+			t.Run(fmt.Sprintf("%s/%v", q.name, strat), func(t *testing.T) {
+				mixed := colTrace(q.streams, 200)
+				// A Float where the schema says Int: canonical keys digest it
+				// fine on the row path, only the columnar layout refuses it.
+				mixed[130].Vals = []tuple.Value{tuple.Float(3), tuple.String_("ftp"), tuple.Int(9)}
+				cut := 71
+
+				col := buildColEngine(t, q, strat, Config{LazyInterval: 7, EagerInterval: 1})
+				if !col.colOK {
+					t.Fatal("plan did not engage the columnar path")
+				}
+				batchFeed(t, col, mixed[:cut])
+				var ckpt bytes.Buffer
+				if err := col.Checkpoint(&ckpt); err != nil {
+					t.Fatalf("Checkpoint: %v", err)
+				}
+
+				restored := buildColEngine(t, q, strat, Config{LazyInterval: 7, EagerInterval: 1})
+				if err := restored.Restore(bytes.NewReader(ckpt.Bytes())); err != nil {
+					t.Fatalf("Restore: %v", err)
+				}
+				if !restored.colOK {
+					t.Fatal("restore dropped columnar eligibility")
+				}
+				batchFeed(t, restored, mixed[cut:])
+				if restored.colOK {
+					t.Fatal("kind-nonconforming run did not demote the stateful plan")
+				}
+
+				row := buildColEngine(t, q, strat, Config{LazyInterval: 7, EagerInterval: 1, NoColumnar: true})
+				batchFeed(t, row, mixed)
+				got, want := observe(t, restored), observe(t, row)
+				// The state high-water mark is sampled on a cadence the restore
+				// cut shifts; it is not comparable across a checkpoint boundary.
+				got.stats.MaxStateTuples = 0
+				want.stats.MaxStateTuples = 0
+				diffObservations(t, "demoted-restored vs row", got, want)
+			})
+		}
+	}
 }
 
 // sameInterner asserts two engines hold identical symbol tables: same strings

@@ -68,23 +68,39 @@ func newAggState(spec AggSpec) *aggState {
 	return s
 }
 
-func (s *aggState) add(t tuple.Tuple) {
+// arg extracts the aggregated value from a row-form tuple; Count never reads
+// a column (its Col is ignored and may be out of range).
+func (s *aggState) arg(t tuple.Tuple) tuple.Value {
+	if s.spec.Kind == Count {
+		return tuple.Value{}
+	}
+	return t.Vals[s.spec.Col]
+}
+
+func (s *aggState) add(t tuple.Tuple) { s.addValue(s.arg(t)) }
+
+func (s *aggState) remove(t tuple.Tuple) { s.removeValue(s.arg(t)) }
+
+// addValue folds one arrival's value in. The columnar kernel calls this
+// directly with values read from the typed vectors, so aggregate maintenance
+// needs no row materialization.
+func (s *aggState) addValue(v tuple.Value) {
 	s.n++
 	switch s.spec.Kind {
 	case Sum, Avg:
-		s.sum += t.Vals[s.spec.Col].AsFloat()
+		s.sum += v.AsFloat()
 	case Min, Max:
-		s.multi[t.Vals[s.spec.Col]]++
+		s.multi[v]++
 	}
 }
 
-func (s *aggState) remove(t tuple.Tuple) {
+// removeValue subtracts one departure's value.
+func (s *aggState) removeValue(v tuple.Value) {
 	s.n--
 	switch s.spec.Kind {
 	case Sum, Avg:
-		s.sum -= t.Vals[s.spec.Col].AsFloat()
+		s.sum -= v.AsFloat()
 	case Min, Max:
-		v := t.Vals[s.spec.Col]
 		if s.multi[v] <= 1 {
 			delete(s.multi, v)
 		} else {

@@ -11,27 +11,35 @@ import (
 // batch, producing exactly what the row-form ProcessBatch would — columnar
 // execution is a layout/dispatch optimization, never a semantic change.
 //
-// Kernels exist only for the hot relational core: selection (predicate
-// evaluation as a column scan producing a selection mask), projection, merge
-// union, and the window equijoin (probing keyed on interned ids and canonical
-// keys). Everything else — aggregation, duplicate elimination, negation,
-// relation joins — keeps the row path; ColSupported lets the executor decide
-// per plan whether a columnar pipeline is available at all.
+// Kernels cover the hot relational core — selection (predicate evaluation as
+// a bitset mask scan), projection, merge union, the window equijoin — and the
+// stateful tail: group-by, duplicate elimination (both Distinct and the δ
+// operator), and negation (colstateful.go). Operators without a kernel
+// (intersect, relation joins) keep the row path; ColSupported lets the
+// executor decide per plan whether a columnar pipeline is available at all.
 
-// ColSupported reports whether op has a columnar kernel. Plans containing any
-// unsupported operator run entirely on the row batch path.
+// ColBatchProcessor is the columnar counterpart of BatchProcessor: consume a
+// run in columnar form, append emissions (positive and negative) to out in
+// exactly the order the row-form ProcessBatch would produce them. Kernels may
+// materialize row-form tuples internally where state structures require it,
+// but the batch handed on stays column-major.
+type ColBatchProcessor interface {
+	ProcessCols(side int, in *tuple.ColBatch, now int64, out *tuple.ColBatch, intern *tuple.Interner) error
+}
+
+// ColSupported reports whether op has a usable columnar kernel for its
+// configuration. Plans containing any unsupported operator run entirely on
+// the row batch path.
 func ColSupported(op Operator) bool {
 	switch o := op.(type) {
 	case *Select:
 		return colCompilable(o.pred)
-	case *Project:
-		return true
-	case *Union:
+	case *Project, *Union, *GroupBy, *Distinct, *DistinctDelta, *Negate:
 		return true
 	case *Join:
-		// The residual predicate evaluates over the concatenated row; rare
-		// enough that such joins simply keep the row path.
-		return o.residual == nil
+		// A residual predicate evaluates over the concatenated result row, so
+		// it is mask-evaluable exactly when the mask compiler understands it.
+		return o.residual == nil || colCompilable(o.residual)
 	default:
 		return false
 	}
@@ -69,18 +77,11 @@ func colCompilable(p Predicate) bool {
 // operator is an execution error, not a silent fallback — fallback decisions
 // are made per plan, before any batch flows.
 func ProcessColBatch(op Operator, side int, in *tuple.ColBatch, now int64, out *tuple.ColBatch, intern *tuple.Interner) error {
-	switch o := op.(type) {
-	case *Select:
-		return o.processColBatch(side, in, out, intern)
-	case *Project:
-		return o.processColBatch(side, in, out)
-	case *Union:
-		return o.processColBatch(side, in, out)
-	case *Join:
-		return o.processColBatch(side, in, now, out, intern)
-	default:
+	p, ok := op.(ColBatchProcessor)
+	if !ok {
 		return fmt.Errorf("operator: no columnar kernel for %T", op)
 	}
+	return p.ProcessCols(side, in, now, out, intern)
 }
 
 // growMask returns a []bool of length n, reusing m's storage when possible.
@@ -91,20 +92,30 @@ func growMask(m []bool, n int) []bool {
 	return m[:n]
 }
 
-// processColBatch evaluates the predicate as a column scan into a selection
-// mask, then appends the surviving rows (positive and negative alike, so a
-// retraction passes exactly when the tuple it retracts passed).
-func (s *Select) processColBatch(side int, in *tuple.ColBatch, out *tuple.ColBatch, intern *tuple.Interner) error {
+// ProcessCols evaluates the predicate over the column vectors into a packed
+// bitset mask, then gathers the surviving rows (positive and negative alike,
+// so a retraction passes exactly when the tuple it retracts passed).
+func (s *Select) ProcessCols(side int, in *tuple.ColBatch, now int64, out *tuple.ColBatch, intern *tuple.Interner) error {
 	if side != 0 {
 		return badSide("select", side)
 	}
-	n := in.Len()
-	s.colMask = growMask(s.colMask, n)
-	if err := colEval(s.pred, in, intern, s.colMask, &s.colTmp); err != nil {
+	s.colBits = growBits(s.colBits, in.Len())
+	if err := colEvalBits(s.pred, in, intern, s.colBits, &s.colBitsTmp); err != nil {
 		return err
 	}
-	out.AppendMasked(in, s.colMask)
+	out.AppendMaskedBits(in, s.colBits)
 	return nil
+}
+
+// evalBoolMask is the retired per-row []bool evaluation path, kept callable
+// so BenchmarkMaskEval can compare it against the packed bitset path on the
+// same predicates.
+func (s *Select) evalBoolMask(in *tuple.ColBatch, intern *tuple.Interner) ([]bool, error) {
+	s.colMask = growMask(s.colMask, in.Len())
+	if err := colEval(s.pred, in, intern, s.colMask, &s.colTmp); err != nil {
+		return nil, err
+	}
+	return s.colMask, nil
 }
 
 // colEval fills dst[i] with p's verdict on row i. pool recycles the temporary
@@ -274,8 +285,8 @@ func evalColCol(p ColCol, in *tuple.ColBatch, intern *tuple.Interner, dst []bool
 	}
 }
 
-// processColBatch projects whole columns at once.
-func (p *Project) processColBatch(side int, in *tuple.ColBatch, out *tuple.ColBatch) error {
+// ProcessCols projects whole columns at once.
+func (p *Project) ProcessCols(side int, in *tuple.ColBatch, now int64, out *tuple.ColBatch, intern *tuple.Interner) error {
 	if side != 0 {
 		return badSide("project", side)
 	}
@@ -283,9 +294,9 @@ func (p *Project) processColBatch(side int, in *tuple.ColBatch, out *tuple.ColBa
 	return nil
 }
 
-// processColBatch forwards the run, asserting the merge's timestamp order on
+// ProcessCols forwards the run, asserting the merge's timestamp order on
 // positives exactly as the row path does.
-func (u *Union) processColBatch(side int, in *tuple.ColBatch, out *tuple.ColBatch) error {
+func (u *Union) ProcessCols(side int, in *tuple.ColBatch, now int64, out *tuple.ColBatch, intern *tuple.Interner) error {
 	if side != 0 && side != 1 {
 		return badSide("union", side)
 	}
@@ -304,18 +315,29 @@ func (u *Union) processColBatch(side int, in *tuple.ColBatch, out *tuple.ColBatc
 	return nil
 }
 
-// processColBatch is the columnar equijoin: per row it derives the canonical
+// ProcessCols is the columnar equijoin: per row it derives the canonical
 // composite key straight from the column vectors (no row materialization on
 // the probe), probes the opposite side's buffer, and appends concatenated
 // results column-wise. Row form is materialized only where state requires it
 // — insertion and removal — with the value slices carved from the join's
-// arena instead of per-tuple allocations.
-func (j *Join) processColBatch(side int, in *tuple.ColBatch, now int64, out *tuple.ColBatch, intern *tuple.Interner) error {
+// arena instead of per-tuple allocations. With a residual predicate the run's
+// results stage in a scratch batch and filter through a bitset mask, exactly
+// mirroring the row path's per-result Eval (the filter is stateless, so
+// deferring it to run grain preserves emission order).
+func (j *Join) ProcessCols(side int, in *tuple.ColBatch, now int64, out *tuple.ColBatch, intern *tuple.Interner) error {
 	if side != 0 && side != 1 {
 		return badSide("join", side)
 	}
 	if now > j.clock {
 		j.clock = now
+	}
+	res := out
+	if j.residual != nil {
+		if j.colRes == nil {
+			j.colRes = tuple.NewColBatch(j.schema)
+		}
+		j.colRes.Reset()
+		res = j.colRes
 	}
 	other := 1 - side
 	probeAt := now
@@ -369,12 +391,19 @@ func (j *Join) processColBatch(side int, in *tuple.ColBatch, now int64, out *tup
 			if m.Exp < exp {
 				exp = m.Exp
 			}
-			if !out.AppendJoin(in, i, side, m.Vals, now, exp, neg, intern) {
+			if !res.AppendJoin(in, i, side, m.Vals, now, exp, neg, intern) {
 				j.cands = cands[:0]
 				return fmt.Errorf("join: stored tuple %v does not fit the columnar result layout", m)
 			}
 		}
 		j.cands = cands[:0]
+	}
+	if j.residual != nil {
+		j.colResBits = growBits(j.colResBits, j.colRes.Len())
+		if err := colEvalBits(j.residual, j.colRes, intern, j.colResBits, &j.colResTmp); err != nil {
+			return err
+		}
+		out.AppendMaskedBits(j.colRes, j.colResBits)
 	}
 	return nil
 }

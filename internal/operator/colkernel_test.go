@@ -246,8 +246,12 @@ func TestColSupported(t *testing.T) {
 	}
 	j := colTestJoin(t, statebuf.KindIndexedFIFO, false)
 	j.residual = ColCol{Left: 0, Right: 3, Op: NE}
+	if !ColSupported(j) {
+		t.Error("join with a mask-evaluable residual must have a kernel")
+	}
+	j.residual = opaquePred{}
 	if ColSupported(j) {
-		t.Error("join with a residual must not have a kernel")
+		t.Error("join with a foreign residual must not have a kernel")
 	}
 	if err := ProcessColBatch(NewSelect(colTestSchema, opaquePred{}), 0, tuple.NewColBatch(colTestSchema), 0, tuple.NewColBatch(colTestSchema), tuple.NewInterner()); err == nil {
 		t.Error("kernel dispatch of a non-compilable predicate must error")

@@ -1,0 +1,316 @@
+package operator
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/tuple"
+)
+
+// Columnar kernels for the stateful tail: group-by, duplicate elimination
+// (Distinct and δ), and negation. These operators keep row-form state —
+// buffers, group maps, representative maps — so the kernels' job is to keep
+// the run column-major across the operator boundary while touching state no
+// more than the row path would:
+//
+//   - Keys derive straight from the typed column vectors (tuple.ColBatch.Key:
+//     interned-id comparison for strings, no row render), and where the state
+//     buffer accepts caller digests the key is hashed exactly once per row and
+//     shared between inserts (statebuf.HashedBuffer).
+//   - Rows are materialized only where state stores them, with value slices
+//     carved from a per-operator arena. Stored rows alias freely into
+//     representatives, calendars and downstream emissions — the row path's
+//     sharing discipline — so the kernels never recycle them; slab reclamation
+//     happens when window churn drains a slab's rows. Removal patterns are
+//     the exception: Remove retains nothing, so their slices go back to the
+//     arena immediately.
+//   - Emissions (replacement rows and the WK/WKS polarity pairs of
+//     retractions) are copied column-major into the output batch in exactly
+//     the row path's order, so downstream kernels and the result view see an
+//     identical stream.
+//
+// Every kernel first folds in the operator's own Advance emissions, mirroring
+// ProcessBatch: expiration runs once per run, ahead of the arrivals.
+
+// appendEmissions copies row-form emissions onto the output batch.
+func appendEmissions(out *tuple.ColBatch, ts []tuple.Tuple, op string, intern *tuple.Interner) error {
+	for _, t := range ts {
+		if !out.AppendRow(t, intern) {
+			return fmt.Errorf("%s: emission %v does not fit the columnar result layout", op, t)
+		}
+	}
+	return nil
+}
+
+// ProcessCols is the columnar group-by kernel. Group keys come from the
+// column vectors and address the groups map directly — one probe per tuple;
+// aggregate updates read values from the vectors (aggState.addValue) — no
+// per-tuple keyValsOf slice, no row render on the hot path. (A per-run
+// scratch cache of key→group was tried and reverted: it costs the same hash
+// work per probe as the persistent map, and its clear-and-refill cycle
+// churns bucket storage every run.) Each arrival still emits its replacement
+// row (the row path's per-arrival contract), but the emission reuses a
+// per-group scratch slice and is copied column-major.
+func (g *GroupBy) ProcessCols(side int, in *tuple.ColBatch, now int64, out *tuple.ColBatch, intern *tuple.Interner) error {
+	if side != 0 {
+		return badSide("groupby", side)
+	}
+	adv, err := g.Advance(now)
+	if err != nil {
+		return err
+	}
+	if err := appendEmissions(out, adv, "groupby", intern); err != nil {
+		return err
+	}
+	fast := g.idCol >= 0
+	if fast && g.idIntern != intern {
+		// First kernel run, or a batch from a different interner (a shared
+		// sub-plan can be fed by more than one engine): the index's ids no
+		// longer mean anything — start over against the new interner.
+		g.idGroups = make(map[uint32]*groupState, len(g.groups))
+		g.idIntern = intern
+	}
+	n := in.Len()
+	for i := 0; i < n; i++ {
+		if in.NegAt(i) {
+			// Retraction: materialize the removal pattern, drive the row-path
+			// removal, and copy its emissions out. The pattern is not retained
+			// by Remove or the aggregate updates, so its slice goes back to
+			// the arena.
+			pat := in.RowTuple(i, &g.colArena, intern)
+			if g.input == nil || !g.input.Remove(pat) {
+				g.colArena.Recycle(pat.Vals)
+				continue
+			}
+			g.colEmit.Reset()
+			g.applyRemoval(pat, now, &g.colEmit)
+			g.colArena.Recycle(pat.Vals)
+			if err := appendEmissions(out, g.colEmit.ts, "groupby", intern); err != nil {
+				return err
+			}
+			continue
+		}
+		// Resolve the group. The interned-id index answers single-string-col
+		// groupings from the column vector alone — no composite Key build, no
+		// 144-byte struct hash; the composite Key is only derived on an index
+		// miss or when the input store needs its digest anyway.
+		var gs *groupState
+		var id uint32
+		if fast {
+			id = in.Col(g.idCol).ID[i]
+			gs = g.idGroups[id]
+		}
+		if gs == nil || g.input != nil {
+			k := in.Key(i, g.groupCols, intern)
+			if g.input != nil {
+				row := in.RowTuple(i, &g.colArena, intern)
+				if g.hashedIn != nil {
+					g.hashedIn.InsertHashed(k.Hash64(), row)
+				} else {
+					g.input.Insert(row)
+				}
+			}
+			if gs == nil {
+				gs = g.groups[k]
+				if gs == nil {
+					kv := g.colArena.Alloc(len(g.groupCols))
+					for j, c := range g.groupCols {
+						kv[j] = in.ValueAt(i, c, intern)
+					}
+					gs = &groupState{keyVals: kv}
+					for _, spec := range g.specs {
+						gs.aggs = append(gs.aggs, newAggState(spec))
+					}
+					g.groups[k] = gs
+				}
+				if fast {
+					gs.internID, gs.hasID = id, true
+					g.idGroups[id] = gs
+				}
+			}
+		}
+		for _, a := range gs.aggs {
+			if a.spec.Kind == Count {
+				a.addValue(tuple.Value{})
+			} else {
+				a.addValue(in.ValueAt(i, a.spec.Col, intern))
+			}
+		}
+		if !out.AppendRow(g.emitInto(gs, now), intern) {
+			return fmt.Errorf("groupby: replacement row for group %v does not fit the columnar result layout", gs.keyVals)
+		}
+	}
+	return nil
+}
+
+// emitInto is the kernel's emit(): the replacement row reuses the group's
+// scratch slice, which is safe only because the kernel copies the emission
+// column-major into the output batch immediately — the sole retainer is
+// gs.last, which the next emission for the group is entitled to replace. The
+// row path's emit() must keep allocating: its emissions travel downstream by
+// reference.
+func (g *GroupBy) emitInto(gs *groupState, now int64) tuple.Tuple {
+	w := len(gs.keyVals) + len(gs.aggs)
+	vals := gs.colVals
+	if cap(vals) < w {
+		vals = make([]tuple.Value, 0, w)
+	}
+	vals = vals[:0]
+	vals = append(vals, gs.keyVals...)
+	for _, a := range gs.aggs {
+		vals = append(vals, a.value())
+	}
+	gs.colVals = vals
+	r := tuple.Tuple{TS: now, Exp: tuple.NeverExpires, Vals: vals}
+	gs.last = r
+	return r
+}
+
+// ProcessCols is the columnar kernel for the literature duplicate-elimination
+// operator. The hot path — a value that already has a representative — costs
+// one key derivation from the vectors and one state-buffer insert (digest
+// shared when the buffer is hashed), with the stored row carved from the
+// arena. New representatives and retractions run the row-path bodies and
+// copy their emissions column-major.
+func (d *Distinct) ProcessCols(side int, in *tuple.ColBatch, now int64, out *tuple.ColBatch, intern *tuple.Interner) error {
+	if side != 0 {
+		return badSide("distinct", side)
+	}
+	adv, err := d.Advance(now)
+	if err != nil {
+		return err
+	}
+	if err := appendEmissions(out, adv, "distinct", intern); err != nil {
+		return err
+	}
+	n := in.Len()
+	for i := 0; i < n; i++ {
+		k := in.Key(i, d.allCols, intern)
+		if in.NegAt(i) {
+			pat := in.RowTuple(i, &d.colArena, intern)
+			d.colEmit.Reset()
+			d.processNegative(k, pat, now, &d.colEmit)
+			d.colArena.Recycle(pat.Vals)
+			if err := appendEmissions(out, d.colEmit.ts, "distinct", intern); err != nil {
+				return err
+			}
+			continue
+		}
+		row := in.RowTuple(i, &d.colArena, intern)
+		var h uint64
+		if d.hashedIn != nil || d.hashedRep != nil {
+			h = k.Hash64()
+		}
+		if d.hashedIn != nil {
+			d.hashedIn.InsertHashed(h, row)
+		} else {
+			d.input.Insert(row)
+		}
+		if _, ok := d.reps[k]; !ok {
+			rep := row
+			rep.TS = now
+			d.reps[k] = rep
+			if d.timeExpiry {
+				if d.hashedRep != nil {
+					d.hashedRep.InsertHashed(h, rep)
+				} else {
+					d.expIdx.Insert(rep)
+				}
+			}
+			if !out.AppendRow(rep, intern) {
+				return fmt.Errorf("distinct: representative %v does not fit the columnar result layout", rep)
+			}
+		}
+	}
+	return nil
+}
+
+// ProcessCols is the columnar kernel for the δ operator. Duplicates — the
+// overwhelming hot path δ exists for — cost a key derivation and two map
+// probes with no materialization at all; a row is built only when it is
+// actually stored (new representative, or an auxiliary that outlives the
+// current one). Negative tuples reject exactly as the row path does, before
+// the clock advances.
+func (d *DistinctDelta) ProcessCols(side int, in *tuple.ColBatch, now int64, out *tuple.ColBatch, intern *tuple.Interner) error {
+	if side != 0 {
+		return badSide("distinct-delta", side)
+	}
+	n := in.Len()
+	for i := 0; i < n; i++ {
+		if in.NegAt(i) {
+			return fmt.Errorf("distinct-delta: negative tuple %v on a %v input (planner must use Distinct for strict inputs)", in.RowTuple(i, nil, intern), core.Strict)
+		}
+		if i == 0 {
+			adv, err := d.Advance(now)
+			if err != nil {
+				return err
+			}
+			if err := appendEmissions(out, adv, "distinct-delta", intern); err != nil {
+				return err
+			}
+		}
+		k := in.Key(i, d.allCols, intern)
+		if rep, ok := d.reps[k]; ok {
+			exp := in.ExpAt(i)
+			if aux, ok := d.aux[k]; !ok || exp > aux.Exp {
+				if exp > rep.Exp {
+					d.aux[k] = in.RowTuple(i, &d.colArena, intern)
+				}
+			}
+			continue
+		}
+		rep := in.RowTuple(i, &d.colArena, intern)
+		rep.TS = now
+		d.reps[k] = rep
+		d.expIdx.Insert(rep)
+		if !out.AppendRow(rep, intern) {
+			return fmt.Errorf("distinct-delta: representative %v does not fit the columnar result layout", rep)
+		}
+	}
+	return nil
+}
+
+// ProcessCols is the columnar negation kernel. Negation's event rules are
+// inherently row-grained — quota repair walks per-value entry lists — so the
+// kernel derives each row's negation key from the vectors, materializes the
+// row once from the arena (stored rows are retained by the calendars and
+// entry lists; removal patterns are recycled), and runs the row-path event
+// body, copying emissions column-major so the run stays columnar end-to-end.
+func (n *Negate) ProcessCols(side int, in *tuple.ColBatch, now int64, out *tuple.ColBatch, intern *tuple.Interner) error {
+	if side != 0 && side != 1 {
+		return badSide("negate", side)
+	}
+	adv, err := n.Advance(now)
+	if err != nil {
+		return err
+	}
+	if err := appendEmissions(out, adv, "negate", intern); err != nil {
+		return err
+	}
+	cols := n.keyCols
+	if side == 1 {
+		cols = n.rightCols
+	}
+	nn := in.Len()
+	for i := 0; i < nn; i++ {
+		k := in.Key(i, cols, intern)
+		var t tuple.Tuple
+		if side == 1 && !n.timeExpiry {
+			// NT-mode W2 maintenance touches only the per-value multiplicity
+			// list — no calendar stores the row — so the event rules need the
+			// key and timestamps alone: skip materialization entirely.
+			t = tuple.Tuple{TS: in.TSAt(i), Exp: in.ExpAt(i), Neg: in.NegAt(i)}
+		} else {
+			t = in.RowTuple(i, &n.colArena, intern)
+		}
+		n.colEmit.Reset()
+		n.processKeyed(side, k, t, now, &n.colEmit)
+		if t.Neg {
+			n.colArena.Recycle(t.Vals)
+		}
+		if err := appendEmissions(out, n.colEmit.ts, "negate", intern); err != nil {
+			return err
+		}
+	}
+	return nil
+}

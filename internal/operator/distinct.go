@@ -33,6 +33,15 @@ type Distinct struct {
 	trimEvery int64
 	lastTrim  int64
 	touched   int64
+	// hashedIn/hashedRep are the digest-taking views of input and expIdx when
+	// they are hash-keyed on all columns, so the columnar kernel hashes each
+	// row's key exactly once for every insert it feeds (colstateful.go).
+	hashedIn  statebuf.HashedBuffer
+	hashedRep statebuf.HashedBuffer
+	// colArena carves the value slices of rows the columnar kernel
+	// materializes; colEmit stages row-path emissions it copies column-major.
+	colArena tuple.ValueArena
+	colEmit  Emit
 }
 
 // DistinctConfig configures the literature duplicate-elimination operator.
@@ -70,7 +79,7 @@ func NewDistinct(cfg DistinctConfig) *Distinct {
 	if trimEvery < 1 {
 		trimEvery = 1
 	}
-	return &Distinct{
+	d := &Distinct{
 		schema:     cfg.Schema,
 		input:      statebuf.New(cfg.InputBuf),
 		reps:       make(map[tuple.Key]tuple.Tuple),
@@ -81,6 +90,17 @@ func NewDistinct(cfg DistinctConfig) *Distinct {
 		trimEvery:  trimEvery,
 		lastTrim:   -1,
 	}
+	if ki, ok := d.input.(statebuf.KeyedInserter); ok && equalCols(ki.KeyCols(), d.allCols) {
+		if hb, ok := d.input.(statebuf.HashedBuffer); ok {
+			d.hashedIn = hb
+		}
+	}
+	if ki, ok := d.expIdx.(statebuf.KeyedInserter); ok && equalCols(ki.KeyCols(), d.allCols) {
+		if hb, ok := d.expIdx.(statebuf.HashedBuffer); ok {
+			d.hashedRep = hb
+		}
+	}
+	return d
 }
 
 // Class implements Operator.
@@ -135,7 +155,11 @@ func (d *Distinct) processOne(t tuple.Tuple, now int64, out *Emit) {
 		rep := t
 		rep.TS = now
 		d.reps[k] = rep
-		d.expIdx.Insert(rep)
+		// Under the negative-tuple strategy the expiry index is never read
+		// (retirement arrives as retractions), so it is not maintained either.
+		if d.timeExpiry {
+			d.expIdx.Insert(rep)
+		}
 		out.Append(rep)
 	}
 }
@@ -169,15 +193,19 @@ func (d *Distinct) processNegative(k tuple.Key, t tuple.Tuple, now int64, out *E
 	switch {
 	case !found:
 		delete(d.reps, k)
-		d.expIdx.Remove(rep)
+		if d.timeExpiry {
+			d.expIdx.Remove(rep)
+		}
 		out.Append(rep.Negative(now))
 	case rep.Exp > best.Exp:
 		// The retracted tuple was the rep's support; shorten the rep.
-		d.expIdx.Remove(rep)
 		newRep := best
 		newRep.TS = now
 		d.reps[k] = newRep
-		d.expIdx.Insert(newRep)
+		if d.timeExpiry {
+			d.expIdx.Remove(rep)
+			d.expIdx.Insert(newRep)
+		}
 		out.Append(rep.Negative(now))
 		out.Append(newRep)
 	}
@@ -223,8 +251,10 @@ func (d *Distinct) Advance(now int64) ([]tuple.Tuple, error) {
 	return out, nil
 }
 
-// StateSize implements Operator: the stored input plus the output state.
-func (d *Distinct) StateSize() int { return d.input.Len() + len(d.reps) }
+// StateSize implements Operator: the stored input, the output state, and the
+// expiry index scheduling representative expirations — every structure a
+// state sampler should see, consistent with the other stateful operators.
+func (d *Distinct) StateSize() int { return d.input.Len() + len(d.reps) + d.expIdx.Len() }
 
 // Touched implements Operator.
 func (d *Distinct) Touched() int64 { return d.touched + d.input.Touched() + d.expIdx.Touched() }

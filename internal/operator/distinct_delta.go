@@ -28,6 +28,9 @@ type DistinctDelta struct {
 	expIdx  statebuf.Buffer
 	allCols []int
 	clock   int64
+	// colArena carves the value slices of rows the columnar kernel stores
+	// (colstateful.go); duplicates materialize nothing.
+	colArena tuple.ValueArena
 }
 
 // NewDistinctDelta builds a δ operator; horizon bounds tuple lifetimes (the
@@ -152,8 +155,9 @@ func (d *DistinctDelta) Advance(now int64) ([]tuple.Tuple, error) {
 }
 
 // StateSize implements Operator: output plus auxiliary state — the "at most
-// twice the size of the output" bound of Section 5.3.1.
-func (d *DistinctDelta) StateSize() int { return len(d.reps) + len(d.aux) }
+// twice the size of the output" bound of Section 5.3.1 — plus the expiry
+// calendar entries, so sampling is consistent across the stateful operators.
+func (d *DistinctDelta) StateSize() int { return len(d.reps) + len(d.aux) + d.expIdx.Len() }
 
 // Touched implements Operator.
 func (d *DistinctDelta) Touched() int64 { return d.expIdx.Touched() }

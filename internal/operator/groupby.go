@@ -34,12 +34,40 @@ type GroupBy struct {
 	groups     map[tuple.Key]*groupState
 	clock      int64
 	timeExpiry bool
+	// hashedIn is the input buffer's digest-taking view when it is hash-keyed
+	// on the group columns, so the columnar kernel hashes each row's group key
+	// exactly once for both the map lookup and the state insert.
+	hashedIn statebuf.HashedBuffer
+	// colArena carves retained value slices — group key copies and rows the
+	// columnar kernel materializes for input state (colstateful.go).
+	colArena tuple.ValueArena
+	// colEmit stages row-path emissions the kernel copies column-major.
+	colEmit Emit
+	// advSeen/advOrder are the expiration wave's reusable scratch: the set and
+	// deterministic order of groups touched by one wave (the PR 2 eviction-
+	// scratch pattern, so steady-state waves allocate nothing).
+	advSeen  map[tuple.Key]bool
+	advOrder []tuple.Key
+	// idCol is the single string group column's input position, or -1. When
+	// set, the columnar kernel probes idGroups by the column vector's interned
+	// id — a 4-byte map key — instead of hashing the full composite Key per
+	// arrival. Entries attach lazily on kernel misses and are dropped at the
+	// two group-deletion sites (dropGroup); idIntern pins the interner whose
+	// ids the index speaks, so a batch from a different interner resets it.
+	idCol    int
+	idGroups map[uint32]*groupState
+	idIntern *tuple.Interner
 }
 
 type groupState struct {
 	keyVals []tuple.Value
 	aggs    []*aggState
 	last    tuple.Tuple // last emitted result row
+	// colVals is the kernel's reusable emission slice (see emitInto).
+	colVals []tuple.Value
+	// internID is the group's entry in the idGroups index (valid when hasID).
+	internID uint32
+	hasID    bool
 }
 
 // GroupByConfig configures a grouped aggregation.
@@ -102,9 +130,18 @@ func NewGroupBy(cfg GroupByConfig) (*GroupBy, error) {
 		groups:     make(map[tuple.Key]*groupState),
 		clock:      -1,
 		timeExpiry: !cfg.NoTimeExpiry && !cfg.NoInputStore,
+		idCol:      -1,
+	}
+	if len(cfg.GroupCols) == 1 && cfg.Input.Col(cfg.GroupCols[0]).Kind == tuple.KindString {
+		g.idCol = cfg.GroupCols[0]
 	}
 	if !cfg.NoInputStore {
 		g.input = statebuf.New(cfg.InputBuf)
+		if ki, ok := g.input.(statebuf.KeyedInserter); ok && equalCols(ki.KeyCols(), g.groupCols) {
+			if hb, ok := g.input.(statebuf.HashedBuffer); ok {
+				g.hashedIn = hb
+			}
+		}
 	}
 	return g, nil
 }
@@ -176,8 +213,11 @@ func (g *GroupBy) processOne(t tuple.Tuple, now int64, out *Emit) {
 	out.Append(g.emit(k, gs, now))
 }
 
+// keyValsOf copies the group columns into a retained slice carved from the
+// operator's arena — group creation shares slab space with the columnar
+// kernel's materializations instead of taking a dedicated allocation.
 func (g *GroupBy) keyValsOf(t tuple.Tuple) []tuple.Value {
-	vals := make([]tuple.Value, len(g.groupCols))
+	vals := g.colArena.Alloc(len(g.groupCols))
 	for i, c := range g.groupCols {
 		vals[i] = t.Vals[c]
 	}
@@ -208,11 +248,21 @@ func (g *GroupBy) applyRemoval(t tuple.Tuple, now int64, out *Emit) {
 		a.remove(t)
 	}
 	if gs.aggs[0].n == 0 {
-		delete(g.groups, k)
+		g.dropGroup(k, gs)
 		out.Append(gs.last.Negative(now))
 		return
 	}
 	out.Append(g.emit(k, gs, now))
+}
+
+// dropGroup removes a vanished group from the groups map and, when the group
+// was attached to the columnar kernel's interned-id index, from that index —
+// the one sync point that keeps a stale id from resurrecting a dead group.
+func (g *GroupBy) dropGroup(k tuple.Key, gs *groupState) {
+	delete(g.groups, k)
+	if gs.hasID {
+		delete(g.idGroups, gs.internID)
+	}
 }
 
 // Advance expires input state eagerly — aggregate values must stay correct
@@ -227,31 +277,39 @@ func (g *GroupBy) Advance(now int64) ([]tuple.Tuple, error) {
 	if len(expired) == 0 {
 		return nil, nil
 	}
-	// Batch removals per group so one expiration wave emits one replacement
-	// row per group, not one per tuple.
-	affected := make(map[tuple.Key][]tuple.Tuple)
-	var order []tuple.Key
+	// Apply all removals first (aggregate subtraction commutes), then emit one
+	// replacement row per affected group in deterministic order. The seen-set
+	// and order slice are reusable operator scratch, so steady-state waves
+	// allocate only their emissions.
+	if g.advSeen == nil {
+		g.advSeen = make(map[tuple.Key]bool)
+	}
+	clear(g.advSeen)
+	g.advOrder = g.advOrder[:0]
 	for _, t := range expired {
 		k := t.Key(g.groupCols)
-		if _, ok := affected[k]; !ok {
-			order = append(order, k)
+		gs, ok := g.groups[k]
+		if !ok {
+			continue
 		}
-		affected[k] = append(affected[k], t)
+		if !g.advSeen[k] {
+			g.advSeen[k] = true
+			g.advOrder = append(g.advOrder, k)
+		}
+		for _, a := range gs.aggs {
+			a.remove(t)
+		}
 	}
-	sort.Slice(order, func(i, j int) bool { return order[i].String() < order[j].String() })
+	order := g.advOrder
+	sort.Slice(order, func(i, j int) bool { return order[i].Compare(order[j]) < 0 })
 	var out []tuple.Tuple
 	for _, k := range order {
 		gs, ok := g.groups[k]
 		if !ok {
 			continue
 		}
-		for _, t := range affected[k] {
-			for _, a := range gs.aggs {
-				a.remove(t)
-			}
-		}
 		if gs.aggs[0].n == 0 {
-			delete(g.groups, k)
+			g.dropGroup(k, gs)
 			out = append(out, gs.last.Negative(now))
 		} else {
 			out = append(out, g.emit(k, gs, now))

@@ -42,6 +42,7 @@ type Negate struct {
 	w1idx      statebuf.Buffer
 	w2idx      statebuf.Buffer
 	w1size     int
+	w2size     int // total live W2 multiplicities, maintained incrementally
 	clock      int64
 	timeExpiry bool
 	negOnExp   bool
@@ -49,11 +50,64 @@ type Negate struct {
 	// signal that drives the STR storage choice in Section 5.3.2.
 	prematureRetractions int64
 	touched              int64
+	// colArena carves the value slices of rows the columnar kernel
+	// materializes; colEmit stages row-path emissions it copies column-major
+	// (colstateful.go).
+	colArena tuple.ValueArena
+	colEmit  Emit
+	// rowFed flips permanently once any row-path batch reaches the operator.
+	// Until then every stored W1 row is arena-carved and exclusively owned,
+	// so NT-mode removals (no calendars retaining the tuple) can recycle the
+	// row immediately; after a row-path batch, stored rows may be caller-owned
+	// or referenced by downstream emissions, and recycling must stop for good.
+	rowFed bool
+	// advSeen/advOrder are the expiration wave's reusable key scratch.
+	advSeen  map[tuple.Key]bool
+	advOrder []tuple.Key
+	// entries/groupFree recycle the per-stored-tuple entry records and the
+	// per-value groups through window churn, so steady-state W1 traffic
+	// costs one slab allocation per negEntrySlab stored tuples instead of
+	// one per tuple.
+	entries   negEntryArena
+	groupFree []*negGroup
 }
 
 type negEntry struct {
 	t     tuple.Tuple
 	inAns bool
+}
+
+// negEntrySlab is how many entry records one arena slab carves.
+const negEntrySlab = 256
+
+// negEntryArena hands out negEntry records carved from fixed slabs, with a
+// freelist fed by removals. Entries are only ever referenced from their
+// group's entries/members slices (emissions copy the tuple by value), so a
+// dropped entry can be recycled immediately.
+type negEntryArena struct {
+	slab []negEntry
+	free []*negEntry
+}
+
+func (a *negEntryArena) get(t tuple.Tuple) *negEntry {
+	if n := len(a.free); n > 0 {
+		e := a.free[n-1]
+		a.free = a.free[:n-1]
+		e.t = t
+		return e
+	}
+	if len(a.slab) == 0 {
+		a.slab = make([]negEntry, negEntrySlab)
+	}
+	e := &a.slab[0]
+	a.slab = a.slab[1:]
+	e.t = t
+	return e
+}
+
+func (a *negEntryArena) put(e *negEntry) {
+	*e = negEntry{}
+	a.free = append(a.free, e)
 }
 
 // negGroup tracks one value's W1 tuples plus the subset currently in the
@@ -143,6 +197,7 @@ func (n *Negate) Process(side int, t tuple.Tuple, now int64) ([]tuple.Tuple, err
 	if side != 0 && side != 1 {
 		return nil, badSide("negate", side)
 	}
+	n.rowFed = true
 	var out Emit
 	adv, err := n.Advance(now)
 	if err != nil {
@@ -160,6 +215,7 @@ func (n *Negate) ProcessBatch(side int, in []tuple.Tuple, now int64, out *Emit) 
 	if side != 0 && side != 1 {
 		return badSide("negate", side)
 	}
+	n.rowFed = true
 	adv, err := n.Advance(now)
 	if err != nil {
 		return err
@@ -174,30 +230,48 @@ func (n *Negate) ProcessBatch(side int, in []tuple.Tuple, now int64, out *Emit) 
 // processOne is the shared per-tuple body of Process and ProcessBatch; the
 // caller has already run Advance for now.
 func (n *Negate) processOne(side int, t tuple.Tuple, now int64, out *Emit) {
+	cols := n.keyCols
+	if side == 1 {
+		cols = n.rightCols
+	}
+	n.processKeyed(side, t.Key(cols), t, now, out)
+}
+
+// processKeyed is processOne with the negation key precomputed — the columnar
+// kernel derives it from the column vectors instead of the row.
+func (n *Negate) processKeyed(side int, k tuple.Key, t tuple.Tuple, now int64, out *Emit) {
 	switch {
 	case side == 0 && !t.Neg:
-		k := t.Key(n.keyCols)
 		g := n.w1[k]
 		if g == nil {
-			g = &negGroup{}
+			if l := len(n.groupFree); l > 0 {
+				g = n.groupFree[l-1]
+				n.groupFree = n.groupFree[:l-1]
+			} else {
+				g = &negGroup{}
+			}
 			n.w1[k] = g
 		}
-		g.entries = append(g.entries, &negEntry{t: t})
+		g.entries = append(g.entries, n.entries.get(t))
 		n.w1size++
-		n.w1idx.Insert(t)
-		n.repair(k, now, out)
+		if n.timeExpiry {
+			n.w1idx.Insert(t)
+		}
+		n.repairGroup(g, len(n.w2[k]), now, out)
 	case side == 0 && t.Neg:
-		n.retractW1(t, now, out)
+		n.retractW1(k, t, now, out)
 	case side == 1 && !t.Neg:
-		k := t.Key(n.rightCols)
-		n.w2[k] = append(n.w2[k], t.Exp)
-		n.w2idx.Insert(t)
-		n.repair(k, now, out)
+		exps := append(n.w2[k], t.Exp)
+		n.w2[k] = exps
+		n.w2size++
+		if n.timeExpiry {
+			n.w2idx.Insert(t)
+		}
+		n.repairGroup(n.w1[k], len(exps), now, out)
 	default: // side == 1, negative
-		k := t.Key(n.rightCols)
 		if n.removeW2(k, t.Exp) {
 			// The calendar entry stays and is skipped when it fires.
-			n.repair(k, now, out)
+			n.repairGroup(n.w1[k], len(n.w2[k]), now, out)
 		}
 	}
 }
@@ -221,6 +295,7 @@ func (n *Negate) removeW2(k tuple.Key, exp int64) bool {
 		at = 0 // retraction of an unknown twin: drop any copy
 	}
 	exps = append(exps[:at], exps[at+1:]...)
+	n.w2size--
 	if len(exps) == 0 {
 		delete(n.w2, k)
 	} else {
@@ -233,8 +308,7 @@ func (n *Negate) removeW2(k tuple.Key, exp int64) bool {
 // tuple is removed, preferring one that is not currently in the answer (so
 // no retraction needs to propagate); the quota repair handles the rest. The
 // calendar entry is left to fire as a no-op.
-func (n *Negate) retractW1(t tuple.Tuple, now int64, out *Emit) {
-	k := t.Key(n.keyCols)
+func (n *Negate) retractW1(k tuple.Key, t tuple.Tuple, now int64, out *Emit) {
 	g := n.w1[k]
 	if g == nil {
 		return
@@ -269,19 +343,30 @@ func (n *Negate) retractW1(t tuple.Tuple, now int64, out *Emit) {
 		out.Append(e.t.Negative(now))
 		n.prematureRetractions++
 	}
-	n.dropW1(k, victim)
+	n.dropW1(k, g, victim)
 	n.repair(k, now, out)
 }
 
-func (n *Negate) dropW1(k tuple.Key, i int) {
-	g := n.w1[k]
+func (n *Negate) dropW1(k tuple.Key, g *negGroup, i int) {
 	e := g.entries[i]
 	if e.inAns {
 		g.dropMember(e)
 	}
 	g.entries = append(g.entries[:i], g.entries[i+1:]...)
+	// Pure-columnar NT mode: every stored row was carved from colArena and no
+	// calendar retains it, so the dropped row's slice is exclusively ours —
+	// hand it back for the next materialization. Any emission referencing it
+	// (the retraction staged just before this drop) is copied column-major
+	// before the kernel materializes another row, so the recycled slice cannot
+	// be overwritten while still referenced.
+	if !n.rowFed && !n.timeExpiry {
+		n.colArena.Recycle(e.t.Vals)
+	}
+	n.entries.put(e)
 	if len(g.entries) == 0 {
 		delete(n.w1, k)
+		g.members = g.members[:0]
+		n.groupFree = append(n.groupFree, g)
 	}
 	n.w1size--
 }
@@ -298,12 +383,18 @@ func (g *negGroup) dropMember(e *negEntry) {
 // repair enforces the Equation 1 invariant for one value: exactly
 // max(v1 − v2, 0) live W1-tuples in the answer.
 func (n *Negate) repair(k tuple.Key, now int64, out *Emit) {
-	g := n.w1[k]
+	n.repairGroup(n.w1[k], len(n.w2[k]), now, out)
+}
+
+// repairGroup is repair with the group and W2 multiplicity already resolved —
+// the per-arrival event rules hold both from their own state touch, so the
+// hot path never re-hashes the key for a second (and third) map probe.
+func (n *Negate) repairGroup(g *negGroup, w2n int, now int64, out *Emit) {
 	if g == nil {
 		return
 	}
 	entries := g.entries
-	target := len(entries) - len(n.w2[k])
+	target := len(entries) - w2n
 	if target < 0 {
 		target = 0
 	}
@@ -355,12 +446,15 @@ func (n *Negate) Advance(now int64) ([]tuple.Tuple, error) {
 	}
 	n.clock = now
 	var out Emit
-	touchedKeys := make(map[tuple.Key]bool)
-	var order []tuple.Key
+	if n.advSeen == nil {
+		n.advSeen = make(map[tuple.Key]bool)
+	}
+	clear(n.advSeen)
+	n.advOrder = n.advOrder[:0]
 	note := func(k tuple.Key) {
-		if !touchedKeys[k] {
-			touchedKeys[k] = true
-			order = append(order, k)
+		if !n.advSeen[k] {
+			n.advSeen[k] = true
+			n.advOrder = append(n.advOrder, k)
 		}
 	}
 
@@ -391,7 +485,7 @@ func (n *Negate) Advance(now int64) ([]tuple.Tuple, error) {
 			if n.negOnExp && entries[victim].inAns {
 				out.Append(entries[victim].t.Negative(now))
 			}
-			n.dropW1(k, victim)
+			n.dropW1(k, g, victim)
 			note(k)
 		}
 	}
@@ -402,6 +496,7 @@ func (n *Negate) Advance(now int64) ([]tuple.Tuple, error) {
 			n.touched++
 			if e == t.Exp {
 				exps = append(exps[:i], exps[i+1:]...)
+				n.w2size--
 				if len(exps) == 0 {
 					delete(n.w2, k)
 				} else {
@@ -412,20 +507,22 @@ func (n *Negate) Advance(now int64) ([]tuple.Tuple, error) {
 			}
 		}
 	}
-	sort.Slice(order, func(i, j int) bool { return order[i].String() < order[j].String() })
+	order := n.advOrder
+	sort.Slice(order, func(i, j int) bool { return order[i].Compare(order[j]) < 0 })
 	for _, k := range order {
 		n.repair(k, now, &out)
 	}
 	return out.ts, nil
 }
 
-// StateSize implements Operator.
+// StateSize implements Operator: live entries of both windows plus the
+// expiration calendars tracking them (which can exceed the live counts while
+// retracted entries wait to fire as no-ops) — consistent with the other
+// stateful operators' expiry-index accounting. The W2 count is maintained
+// incrementally; the engine samples StateSize on a metrics cadence, so it
+// must stay O(1) rather than iterate the multiplicity map.
 func (n *Negate) StateSize() int {
-	w2n := 0
-	for _, exps := range n.w2 {
-		w2n += len(exps)
-	}
-	return n.w1size + w2n
+	return n.w1size + n.w2size + n.w1idx.Len() + n.w2idx.Len()
 }
 
 // Touched implements Operator.

@@ -174,7 +174,9 @@ func TestNegateTwinsWithDifferentExpirations(t *testing.T) {
 	if out := mustAdvance(t, n, 100); len(out) != 0 {
 		t.Fatalf("long twin lost: %v", out)
 	}
-	if n.StateSize() != 2 {
+	// The live W1 and W2 tuples each count once in their window state and
+	// once in the expiration calendar tracking them.
+	if n.StateSize() != 4 {
 		t.Errorf("StateSize = %d", n.StateSize())
 	}
 }

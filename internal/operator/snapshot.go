@@ -242,6 +242,10 @@ func (g *GroupBy) LoadState(dec *checkpoint.Decoder) error {
 		}
 	}
 	g.groups = make(map[tuple.Key]*groupState)
+	// The interned-id index holds pointers into the replaced group map; the
+	// kernel rebuilds it lazily against whatever interner feeds it next.
+	g.idGroups = nil
+	g.idIntern = nil
 	n := dec.Count()
 	for i := 0; i < n && dec.Err() == nil; i++ {
 		k := dec.Key()
@@ -330,6 +334,7 @@ func (n *Negate) LoadState(dec *checkpoint.Decoder) error {
 		n.w1[k] = g
 	}
 	n.w2 = make(map[tuple.Key][]int64)
+	n.w2size = 0
 	nw := dec.Count()
 	for i := 0; i < nw && dec.Err() == nil; i++ {
 		k := dec.Key()
@@ -339,6 +344,7 @@ func (n *Negate) LoadState(dec *checkpoint.Decoder) error {
 			exps = append(exps, dec.Varint())
 		}
 		n.w2[k] = exps
+		n.w2size += len(exps)
 	}
 	if err := dec.Err(); err != nil {
 		return err

@@ -1,5 +1,7 @@
 package tuple
 
+import "math/bits"
+
 // Columnar batch layout. A ColBatch holds one run of same-schema tuples as
 // per-column typed vectors — []int64 for int columns, []float64 for float
 // columns, []uint32 interned-string ids for string columns — plus TS/Exp/Neg
@@ -337,6 +339,30 @@ func (cb *ColBatch) AppendMasked(src *ColBatch, mask []bool) {
 		}
 	}
 	cb.maskIdx = idx
+	cb.appendByIndex(src, idx)
+}
+
+// AppendMaskedBits appends the rows of src whose bit is set in the packed
+// bitset mask: row i lives at bit i&63 of word i>>6. Bits at positions ≥
+// src.Len() must be zero. The survivor indexes are recovered word-at-a-time
+// with TrailingZeros64 — cost proportional to popcount, not row count — and
+// then gathered column by column exactly like AppendMasked.
+func (cb *ColBatch) AppendMaskedBits(src *ColBatch, mask []uint64) {
+	idx := cb.maskIdx[:0]
+	for w, word := range mask {
+		base := int32(w) << 6
+		for word != 0 {
+			idx = append(idx, base+int32(bits.TrailingZeros64(word)))
+			word &= word - 1
+		}
+	}
+	cb.maskIdx = idx
+	cb.appendByIndex(src, idx)
+}
+
+// appendByIndex gathers the src rows at idx onto the tail (the shared body of
+// the masked appends).
+func (cb *ColBatch) appendByIndex(src *ColBatch, idx []int32) {
 	if len(idx) == 0 {
 		return
 	}

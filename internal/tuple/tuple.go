@@ -224,6 +224,58 @@ func (k Key) Hash64() uint64 {
 	return h
 }
 
+// Compare imposes a deterministic total order on keys without rendering them
+// (String allocates — hot expiration waves sort their touched keys with this
+// instead). The order is arbitrary but stable: width, then per-value kind and
+// payload; wide keys compare their packed renderings.
+func (k Key) Compare(o Key) int {
+	if k.n != o.n {
+		if k.n < o.n {
+			return -1
+		}
+		return 1
+	}
+	if k.n > 3 {
+		return strings.Compare(k.wide, o.wide)
+	}
+	for i := 0; i < k.n; i++ {
+		if c := k.v[i].compare(o.v[i]); c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+// compare orders two canonical values: kind first, then the payload field
+// that kind uses.
+func (v Value) compare(o Value) int {
+	if v.Kind != o.Kind {
+		if v.Kind < o.Kind {
+			return -1
+		}
+		return 1
+	}
+	switch v.Kind {
+	case KindInt:
+		if v.I != o.I {
+			if v.I < o.I {
+				return -1
+			}
+			return 1
+		}
+	case KindFloat:
+		if v.F != o.F {
+			if v.F < o.F {
+				return -1
+			}
+			return 1
+		}
+	case KindString:
+		return strings.Compare(v.S, o.S)
+	}
+	return 0
+}
+
 // Clone deep-copies the tuple's value slice so later mutation of the source
 // cannot alias stored state.
 func (t Tuple) Clone() Tuple {
